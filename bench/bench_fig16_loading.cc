@@ -1,0 +1,57 @@
+// Figure 16 — graph loading cost of the three storage layouts, as a ratio to
+// the plain adjacency list: adj (push), VE-BLOCK (b-pull), adj+VE-BLOCK
+// (hybrid stores edges twice). Reported for both modeled runtime and bytes
+// written.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hybridgraph;
+using namespace hybridgraph::bench;
+
+namespace {
+
+struct LoadCost {
+  double seconds = 0;
+  uint64_t bytes = 0;
+};
+
+template <typename EngineT>
+LoadCost Measure(const EdgeListGraph& graph, JobConfig cfg, EngineMode mode) {
+  cfg.mode = mode;
+  EngineT engine(cfg, PageRankProgram{});
+  HG_CHECK(engine.Load(graph).ok());
+  return {engine.stats().load.load_seconds, engine.stats().load.bytes_written};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_fig16_loading",
+              "Fig 16: loading cost of adj vs VE-BLOCK vs adj+VE-BLOCK");
+  std::printf("%-8s | %10s %10s %10s | %10s %10s %10s\n", "dataset",
+              "adj", "ve", "adj+ve", "adj", "ve", "adj+ve");
+  std::printf("%-8s | %32s | %32s\n", "", "runtime ratio", "written-bytes ratio");
+  for (const char* name : {"livej", "wiki", "orkut", "twi", "fri", "uk"}) {
+    const DatasetSpec spec = FindDataset(name).ValueOrDie();
+    const double shrink = ShrinkFor(spec);
+    const EdgeListGraph& graph = CachedGraph(spec, shrink);
+    const JobConfig cfg = LimitedMemoryConfig(spec, shrink);
+    const LoadCost adj =
+        Measure<Engine<PageRankProgram>>(graph, cfg, EngineMode::kPush);
+    const LoadCost ve =
+        Measure<Engine<PageRankProgram>>(graph, cfg, EngineMode::kBPull);
+    const LoadCost both =
+        Measure<Engine<PageRankProgram>>(graph, cfg, EngineMode::kHybrid);
+    std::printf("%-8s | %10.2f %10.2f %10.2f | %10.2f %10.2f %10.2f\n", name,
+                1.0, ve.seconds / adj.seconds, both.seconds / adj.seconds,
+                1.0, static_cast<double>(ve.bytes) / adj.bytes,
+                static_cast<double>(both.bytes) / adj.bytes);
+  }
+  std::printf(
+      "\nexpected shape: VE-BLOCK costs more than adj (fragment auxiliary\n"
+      "data), adj+VE-BLOCK slightly more again (second edge replica written\n"
+      "sequentially); all ratios stay well under ~2-4x and are amortized by\n"
+      "the computation-phase gains (Sec 6.4).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 17 — per-superstep blocking time (message exchange time) of push,
+// pushM and b-pull for PageRank over wiki and orkut with sufficient memory.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hybridgraph;
+using namespace hybridgraph::bench;
+
+int main() {
+  PrintHeader("bench_fig17_blocking",
+              "Fig 17: blocking time per superstep, push vs pushM vs b-pull");
+  for (const char* name : {"wiki", "orkut"}) {
+    const DatasetSpec spec = FindDataset(name).ValueOrDie();
+    const double shrink = ShrinkFor(spec);
+    const EdgeListGraph& graph = CachedGraph(spec, shrink);
+    std::printf("\n-- PageRank over %s: blocking seconds per superstep --\n",
+                name);
+    std::printf("%4s %12s %12s %12s\n", "t", "push", "pushM", "b-pull");
+    std::vector<std::vector<double>> series;
+    for (EngineMode mode :
+         {EngineMode::kPush, EngineMode::kPushM, EngineMode::kBPull}) {
+      JobConfig cfg = SufficientMemoryConfig(spec, shrink);
+      cfg.max_supersteps = 5;
+      auto stats = RunAlgo(graph, Algo::kPageRank, mode, cfg);
+      std::vector<double> col;
+      if (stats.ok()) {
+        for (const auto& s : stats->supersteps) {
+          col.push_back(s.blocking_seconds);
+        }
+      }
+      series.push_back(std::move(col));
+    }
+    for (size_t t = 0; t < 5; ++t) {
+      std::printf("%4zu", t + 1);
+      for (const auto& col : series) {
+        if (t < col.size()) {
+          std::printf(" %12.6f", col[t]);
+        } else {
+          std::printf(" %12s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nexpected shape: b-pull starts exchanging messages only from the 2nd\n"
+      "superstep and then offers comparable (or lower) blocking time than\n"
+      "push thanks to concatenated/combined transfers.\n");
+  return 0;
+}

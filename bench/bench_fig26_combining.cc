@@ -1,0 +1,63 @@
+// Figure 26 (Appendix E) — the effectiveness of combining versus the sending
+// threshold: pushM, pushM+com (sender-side combining) and b-pull running
+// PageRank over orkut. The paper sweeps 1..32 MB; thresholds here scale with
+// the dataset (x/200).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hybridgraph;
+using namespace hybridgraph::bench;
+
+int main() {
+  PrintHeader("bench_fig26_combining",
+              "Fig 26: combining effectiveness vs sending threshold "
+              "(PageRank over orkut)");
+  const DatasetSpec spec = FindDataset("orkut").ValueOrDie();
+  const double shrink = ShrinkFor(spec);
+  const EdgeListGraph& graph = CachedGraph(spec, shrink);
+
+  struct System {
+    const char* name;
+    EngineMode mode;
+    bool sender_combining;
+  };
+  const System systems[] = {
+      {"pushM", EngineMode::kPushM, false},
+      {"pushM+com", EngineMode::kPushM, true},
+      {"b-pull", EngineMode::kBPull, false},
+  };
+
+  std::printf("%-12s %12s %12s %14s %12s\n", "system", "threshold",
+              "runtime(s)", "combine_ratio", "net_bytes");
+  for (double mb : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const uint64_t threshold = std::max<uint64_t>(
+        256, static_cast<uint64_t>(mb * 1024 * 1024 / spec.scale / shrink));
+    for (const auto& sys : systems) {
+      JobConfig cfg = SufficientMemoryConfig(spec, shrink);
+      cfg.sending_threshold_bytes = threshold;
+      cfg.push_sender_combining = sys.sender_combining;
+      auto stats = RunAlgo(graph, Algo::kPageRank, sys.mode, cfg);
+      if (!stats.ok()) {
+        std::printf("%-12s %12llu FAILED\n", sys.name,
+                    (unsigned long long)threshold);
+        continue;
+      }
+      uint64_t mco = 0, m = 0;
+      for (const auto& s : stats->supersteps) {
+        mco += s.messages_combined;
+        m += s.messages_produced;
+      }
+      std::printf("%-12s %12llu %12.4f %14.3f %12llu\n", sys.name,
+                  (unsigned long long)threshold, stats->modeled_seconds,
+                  m ? static_cast<double>(mco) / m : 0.0,
+                  (unsigned long long)stats->TotalNetBytes());
+    }
+  }
+  std::printf(
+      "\nexpected shape: pushM's runtime grows with the threshold (less\n"
+      "network/compute overlap); pushM+com recovers via a growing combining\n"
+      "ratio; b-pull's combining ratio is flat (orthogonal to the\n"
+      "threshold) and stays high.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: codec,
+// message batch encode/decode, storage access, spill merge, and Eblock scan.
+#include <benchmark/benchmark.h>
+
+#include "graph/generator.h"
+#include "graph/ve_block_store.h"
+#include "io/message_spill.h"
+#include "io/storage.h"
+#include "net/message_codec.h"
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace hybridgraph {
+namespace {
+
+void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.Next() >> (rng.Next() % 64);
+  Buffer buf;
+  for (auto _ : state) {
+    buf.Clear();
+    Encoder enc(&buf);
+    for (uint64_t v : values) enc.PutVarint64(v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_VarintDecode(benchmark::State& state) {
+  Rng rng(1);
+  Buffer buf;
+  Encoder enc(&buf);
+  constexpr int kN = 1024;
+  for (int i = 0; i < kN; ++i) enc.PutVarint64(rng.Next() >> (rng.Next() % 64));
+  for (auto _ : state) {
+    Decoder dec(buf.AsSlice());
+    uint64_t v;
+    for (int i = 0; i < kN; ++i) {
+      benchmark::DoNotOptimize(dec.GetVarint64(&v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_VarintDecode);
+
+void BM_FlatBatchRoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> msgs;
+  std::vector<uint8_t> payload(8, 0xAB);
+  for (int i = 0; i < n; ++i) msgs.emplace_back(i * 7, payload);
+  for (auto _ : state) {
+    Buffer buf;
+    FlatBatchCodec::Encode(msgs, 8, &buf);
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> out;
+    benchmark::DoNotOptimize(FlatBatchCodec::Decode(buf.AsSlice(), 8, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatBatchRoundTrip)->Arg(256)->Arg(4096);
+
+void BM_MemStorageReadRange(benchmark::State& state) {
+  MemStorage storage;
+  std::vector<uint8_t> blob(1 << 20, 7);
+  (void)storage.Write("k", Slice(blob), IoClass::kSeqWrite);
+  Rng rng(3);
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    const uint64_t off = rng.NextBounded((1 << 20) - 16);
+    benchmark::DoNotOptimize(
+        storage.ReadRange("k", off, 16, &out, IoClass::kRandRead));
+  }
+}
+BENCHMARK(BM_MemStorageReadRange);
+
+void BM_SpillMerge(benchmark::State& state) {
+  const int runs = 8;
+  const int per_run = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemStorage storage;
+    MessageSpill spill(&storage, "b", 8);
+    Rng rng(5);
+    std::vector<uint8_t> payload(8, 1);
+    for (int r = 0; r < runs; ++r) {
+      std::vector<SpillEntry> entries;
+      entries.reserve(per_run);
+      for (int i = 0; i < per_run; ++i) {
+        entries.push_back({static_cast<uint32_t>(rng.NextBounded(10000)),
+                           payload});
+      }
+      (void)spill.SpillRun(std::move(entries));
+    }
+    state.ResumeTiming();
+    std::vector<SpillEntry> out;
+    benchmark::DoNotOptimize(spill.MergeReadAll(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * runs * per_run);
+}
+BENCHMARK(BM_SpillMerge)->Arg(1000)->Arg(10000);
+
+void BM_EblockScan(benchmark::State& state) {
+  const auto graph = GeneratePowerLaw(5000, 12.0, 0.8, 9);
+  auto partition = RangePartition::CreateUniform(5000, 2, 8).ValueOrDie();
+  std::vector<RawEdge> local;
+  for (const auto& e : graph.edges) {
+    if (partition.NodeOf(e.src) == 0) local.push_back(e);
+  }
+  MemStorage storage;
+  auto store = VeBlockStore::Build(&storage, partition, 0, local,
+                                   graph.InDegrees())
+                   .ValueOrDie();
+  VeBlockStore::ScanResult scan;
+  for (auto _ : state) {
+    for (uint32_t svb = 0; svb < 8; ++svb) {
+      for (uint32_t dvb = 0; dvb < 16; ++dvb) {
+        benchmark::DoNotOptimize(store->ScanEblock(svb, dvb, &scan));
+      }
+    }
+  }
+}
+BENCHMARK(BM_EblockScan);
+
+}  // namespace
+}  // namespace hybridgraph
+
+BENCHMARK_MAIN();

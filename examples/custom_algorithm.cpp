@@ -1,0 +1,92 @@
+// Writing your own vertex program: a "reachability with hop budget" analysis
+// implemented from scratch against the public Program interface, run under
+// every engine mode to show that programs are mode-agnostic (the decoupled
+// update/GenMessage split is all the hybrid machinery needs).
+#include <cstdio>
+
+#include "hybridgraph/hybridgraph.h"
+
+using namespace hybridgraph;
+
+namespace {
+
+/// Marks every vertex reachable from a set of seed vertices within
+/// `max_hops` hops. Value = remaining hop budget when first reached
+/// (-1 = unreached); messages carry the sender's remaining budget and are
+/// combinable by max.
+struct BudgetedReachability {
+  using Value = int32_t;
+  using Message = int32_t;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = false;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  int32_t max_hops = 4;
+  uint32_t seed_stride = 1000;  // vertices 0, 1000, 2000, ... are seeds
+
+  bool IsSeed(VertexId v) const { return v % seed_stride == 0; }
+
+  Value InitValue(VertexId v, const SuperstepContext&) const {
+    return IsSeed(v) ? max_hops : -1;
+  }
+  bool InitActive(VertexId v) const { return IsSeed(v); }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) {
+      // Seeds broadcast their budget; respond only if they can still hop.
+      return {false, IsSeed(v) && max_hops > 0};
+    }
+    Message best = -1;
+    for (Message m : msgs) best = m > best ? m : best;
+    if (best > *value) {
+      *value = best;
+      return {true, best > 0};  // keep flooding while budget remains
+    }
+    return {false, false};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge&,
+                     const SuperstepContext&) const {
+    return value - 1;  // one hop consumed
+  }
+
+  static Message Combine(const Message& a, const Message& b) {
+    return a > b ? a : b;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const EdgeListGraph graph = GeneratePowerLaw(20000, 10.0, 0.8, 2024);
+  std::printf("graph: %llu vertices, %llu edges\n\n",
+              (unsigned long long)graph.num_vertices,
+              (unsigned long long)graph.num_edges());
+
+  BudgetedReachability program;
+  for (EngineMode mode : {EngineMode::kPush, EngineMode::kBPull,
+                          EngineMode::kHybrid}) {
+    JobConfig cfg;
+    cfg.mode = mode;
+    cfg.num_nodes = 5;
+    cfg.msg_buffer_per_node = 2000;
+    cfg.max_supersteps = program.max_hops + 2;
+    Engine<BudgetedReachability> engine(cfg, program);
+    HG_CHECK(engine.Load(graph).ok());
+    HG_CHECK(engine.Run().ok());
+    const auto values = engine.GatherValues().ValueOrDie();
+    uint64_t reached = 0;
+    for (int32_t v : values) reached += v >= 0;
+    std::printf(
+        "%-8s reached %llu vertices within %d hops "
+        "(%d supersteps, modeled %.4fs)\n",
+        EngineModeName(mode), (unsigned long long)reached, program.max_hops,
+        engine.stats().supersteps_run, engine.stats().modeled_seconds);
+  }
+  std::printf(
+      "\nall modes must agree on the reachable set — the program never\n"
+      "knows whether its messages were pushed or pulled.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Plot per-superstep metrics exported by hg_run --csv (or WriteSuperstepCsv).
+
+Usage:
+    hg_run --graph dataset:twi --algo sssp --mode hybrid --csv run.csv
+    python3 scripts/plot_metrics.py run.csv out.png
+
+Produces a four-panel figure in the style of the paper's Fig 14: messages,
+I/O bytes, network bytes and Q_t per superstep, with mode switches marked.
+Requires matplotlib; falls back to an ASCII sparkline table without it.
+"""
+import csv
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def ascii_report(rows):
+    blocks = " .:-=+*#%@"
+
+    def spark(values):
+        hi = max(values) or 1
+        return "".join(blocks[min(9, int(v / hi * 9))] for v in values)
+
+    for field in ("messages", "io_total", "net_bytes", "q_t"):
+        values = [abs(float(r[field])) for r in rows]
+        print(f"{field:>12}  {spark(values)}")
+    modes = "".join("b" if r["mode"] == "b-pull" else "p" for r in rows)
+    print(f"{'mode':>12}  {modes}   (b = b-pull, p = push)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    rows = load(sys.argv[1])
+    if not rows:
+        print("empty csv")
+        return 1
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        ascii_report(rows)
+        return 0
+
+    t = [int(r["superstep"]) for r in rows]
+    switches = [int(r["superstep"]) for r in rows if r["switched"] == "1"]
+    fig, axes = plt.subplots(4, 1, figsize=(8, 10), sharex=True)
+    panels = [
+        ("messages", "messages produced"),
+        ("io_total", "I/O bytes"),
+        ("net_bytes", "network bytes"),
+        ("q_t", "Q_t"),
+    ]
+    for ax, (field, label) in zip(axes, panels):
+        ax.plot(t, [float(r[field]) for r in rows], marker="o", ms=3)
+        for s in switches:
+            ax.axvline(s, color="red", ls="--", lw=0.8)
+        ax.set_ylabel(label)
+        ax.grid(alpha=0.3)
+    axes[-1].axhline(0, color="black", lw=0.8)
+    axes[-1].set_xlabel("superstep (red dashes: mode switches)")
+    out = sys.argv[2] if len(sys.argv) > 2 else "metrics.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Runs every bench binary and writes the combined report to bench_output.txt.
+set -u
+OUT="${1:-bench_output.txt}"
+: > "$OUT"
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "" >> "$OUT"
+  echo "################ $b ################" >> "$OUT"
+  "$b" >> "$OUT" 2>&1
+done
+echo "wrote $OUT"

@@ -1,0 +1,51 @@
+// BFS depth labeling from one source (extension workload): Traversal-Style,
+// combinable (min).
+#pragma once
+
+#include "core/program.h"
+
+namespace hybridgraph {
+
+/// \brief BFS vertex program: value is the hop distance from the source
+/// (UINT32_MAX when unreached).
+struct BfsProgram {
+  using Value = uint32_t;
+  using Message = uint32_t;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = false;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  VertexId source = 0;
+  static constexpr uint32_t kUnreached = UINT32_MAX;
+
+  Value InitValue(VertexId v, const SuperstepContext&) const {
+    return v == source ? 0 : kUnreached;
+  }
+  bool InitActive(VertexId v) const { return v == source; }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) {
+      return {false, v == source};
+    }
+    uint32_t best = kUnreached;
+    for (uint32_t m : msgs) best = m < best ? m : best;
+    if (best < *value) {
+      *value = best;
+      return {true, true};
+    }
+    return {false, false};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge&,
+                     const SuperstepContext&) const {
+    return value + 1;
+  }
+
+  static Message Combine(const Message& a, const Message& b) {
+    return a < b ? a : b;
+  }
+};
+
+}  // namespace hybridgraph

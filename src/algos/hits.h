@@ -1,0 +1,97 @@
+// HITS (hubs & authorities) as a Multi-Phase-Style workload.
+//
+// The computation alternates phases: even supersteps propagate hub scores
+// forward (updating authorities), odd supersteps propagate authority scores
+// backward (updating hubs). Phases run over different edge directions, so
+// the graph must be prepared with MakeBidirectional(): every original edge
+// (u,v) appears once with weight +1 (forward) and once reversed as (v,u)
+// with weight -1 (the reverse marker).
+//
+// The per-phase alternation of which vertices send — the "periodical change
+// in terms of the active vertex volume" — is exactly the algorithm class the
+// paper's hybrid does NOT accumulate switching gains on (Appendix G / Sec
+// 5.3 boundary); tests and the ablation bench verify that boundary.
+//
+// Scores are normalized each superstep with the global-aggregator sum of
+// squares from the previous phase.
+#pragma once
+
+#include <cmath>
+
+#include "core/program.h"
+#include "graph/edge_list.h"
+
+namespace hybridgraph {
+
+/// Duplicates every edge in reverse with weight -1 so a program can tell
+/// forward from reverse edges. Doubles |E|.
+inline EdgeListGraph MakeBidirectional(const EdgeListGraph& g) {
+  EdgeListGraph out;
+  out.num_vertices = g.num_vertices;
+  out.edges.reserve(g.edges.size() * 2);
+  for (const auto& e : g.edges) {
+    out.edges.push_back({e.src, e.dst, 1.0f});
+    out.edges.push_back({e.dst, e.src, -1.0f});
+  }
+  return out;
+}
+
+/// \brief HITS vertex program over a MakeBidirectional() graph.
+struct HitsProgram {
+  struct Value {
+    double hub = 1.0;
+    double auth = 1.0;
+  };
+  using Message = double;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = true;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+  static constexpr bool kHasAggregator = true;
+
+  /// Even supersteps: hubs -> authorities (forward edges). Odd: authorities
+  /// -> hubs (reverse edges).
+  static bool AuthPhase(int superstep) { return superstep % 2 == 0; }
+
+  Value InitValue(VertexId, const SuperstepContext&) const { return {}; }
+  bool InitActive(VertexId) const { return true; }
+
+  UpdateResult Update(VertexId, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) return {false, true};
+    double sum = 0.0;
+    for (double m : msgs) sum += m;
+    // Normalize by the L2 norm aggregated at the previous barrier.
+    const double norm =
+        ctx.prev_aggregate > 0 ? std::sqrt(ctx.prev_aggregate) : 1.0;
+    // The scores updated in superstep t are those fed by phase t-1.
+    if (AuthPhase(ctx.superstep - 1)) {
+      value->auth = sum / norm;
+    } else {
+      value->hub = sum / norm;
+    }
+    return {true, true};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge& e,
+                     const SuperstepContext& ctx) const {
+    const bool forward = e.weight > 0;
+    if (AuthPhase(ctx.superstep)) {
+      return forward ? value.hub : 0.0;
+    }
+    return forward ? 0.0 : value.auth;
+  }
+
+  static Message Combine(const Message& a, const Message& b) { return a + b; }
+
+  double AggregateContribution(VertexId, const Value&, const Value& new_value,
+                               const SuperstepContext& ctx) const {
+    // Sum of squares of the score this superstep *sends*; the receivers
+    // normalize with it at the next superstep.
+    const double sent =
+        AuthPhase(ctx.superstep) ? new_value.hub : new_value.auth;
+    return sent * sent;
+  }
+};
+
+}  // namespace hybridgraph

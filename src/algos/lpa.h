@@ -1,0 +1,58 @@
+// Label propagation (community detection, Raghavan et al.):
+// Always-Active-Style with NON-combinable messages — every vertex needs the
+// full multiset of neighbor labels to take the majority, so only
+// concatenation applies (paper Sec 6: "Messages, i.e., community labels, are
+// thereby not commutative").
+#pragma once
+
+#include <unordered_map>
+
+#include "core/program.h"
+
+namespace hybridgraph {
+
+/// \brief LPA vertex program: adopt the label a maximum number of
+/// in-neighbors hold (ties broken toward the smaller label, deterministic).
+struct LpaProgram {
+  using Value = uint32_t;
+  using Message = uint32_t;
+  static constexpr bool kCombinable = false;
+  static constexpr bool kAlwaysActive = true;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  Value InitValue(VertexId v, const SuperstepContext&) const { return v; }
+  bool InitActive(VertexId) const { return true; }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0 || msgs.empty()) {
+      return {false, true};
+    }
+    std::unordered_map<uint32_t, uint32_t> counts;
+    counts.reserve(msgs.size());
+    for (uint32_t label : msgs) ++counts[label];
+    uint32_t best_label = *value;
+    uint32_t best_count = 0;
+    for (const auto& [label, count] : counts) {
+      if (count > best_count || (count == best_count && label < best_label)) {
+        best_label = label;
+        best_count = count;
+      }
+    }
+    const bool changed = best_label != *value;
+    *value = best_label;
+    // All vertices must keep broadcasting so neighbors see the full label
+    // multiset every superstep.
+    return {changed, true};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge&,
+                     const SuperstepContext&) const {
+    return value;
+  }
+
+  static Message Combine(const Message& a, const Message&) { return a; }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,49 @@
+// PageRank (paper Fig 3): Always-Active-Style, combinable (sum).
+#pragma once
+
+#include "core/program.h"
+
+namespace hybridgraph {
+
+/// \brief PageRank vertex program.
+///
+/// Every vertex updates and responds every superstep; messages carry the
+/// sender's rank divided by its out-degree and are combinable by summation —
+/// the paper's canonical Always-Active-Style workload.
+struct PageRankProgram {
+  using Value = double;
+  using Message = double;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = true;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  double damping = 0.85;
+
+  Value InitValue(VertexId v, const SuperstepContext& ctx) const {
+    return 1.0 / static_cast<double>(ctx.num_vertices);
+  }
+  bool InitActive(VertexId v) const { return true; }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) {
+      // Superstep 0 broadcasts the initial rank; nothing to consume yet.
+      return {false, true};
+    }
+    double sum = 0.0;
+    for (double m : msgs) sum += m;
+    *value = (1.0 - damping) / static_cast<double>(ctx.num_vertices) +
+             damping * sum;
+    return {true, true};
+  }
+
+  Message GenMessage(VertexId src, const Value& value, uint32_t out_degree,
+                     const Edge& e, const SuperstepContext&) const {
+    return value / static_cast<double>(out_degree);
+  }
+
+  static Message Combine(const Message& a, const Message& b) { return a + b; }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,58 @@
+// PageRank with aggregator-based convergence: instead of a fixed superstep
+// count, every update contributes |Δrank| to a global aggregator and the job
+// halts once the L1 delta falls under a tolerance — the lightweight
+// convergence machinery Pregel-style systems layer on top of Always-Active
+// algorithms.
+#pragma once
+
+#include <cmath>
+
+#include "core/program.h"
+
+namespace hybridgraph {
+
+/// \brief PageRank that stops when the global L1 rank delta < tolerance.
+struct PageRankDeltaProgram {
+  using Value = double;
+  using Message = double;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = true;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+  static constexpr bool kHasAggregator = true;
+
+  double damping = 0.85;
+  double tolerance = 1e-4;  ///< halt when sum |Δrank| < tolerance
+
+  Value InitValue(VertexId, const SuperstepContext& ctx) const {
+    return 1.0 / static_cast<double>(ctx.num_vertices);
+  }
+  bool InitActive(VertexId) const { return true; }
+
+  UpdateResult Update(VertexId, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) return {false, true};
+    double sum = 0.0;
+    for (double m : msgs) sum += m;
+    *value = (1.0 - damping) / static_cast<double>(ctx.num_vertices) +
+             damping * sum;
+    return {true, true};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t out_degree,
+                     const Edge&, const SuperstepContext&) const {
+    return value / static_cast<double>(out_degree);
+  }
+
+  static Message Combine(const Message& a, const Message& b) { return a + b; }
+
+  double AggregateContribution(VertexId, const Value& old_value,
+                               const Value& new_value,
+                               const SuperstepContext&) const {
+    return std::fabs(new_value - old_value);
+  }
+
+  bool ShouldHalt(double aggregate) const { return aggregate < tolerance; }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,93 @@
+// SA — social advertisement simulation (Mizan): selected source vertices
+// inject advertisements; each receiver forwards an ad or ignores it based on
+// per-(vertex, ad) interest; a vertex adopts the ad that a maximum number of
+// responding in-neighbors sent. Traversal-Style active set; messages are
+// NOT combinable in this max-count variant (paper Sec 6).
+#pragma once
+
+#include "core/program.h"
+#include "util/rng.h"
+
+namespace hybridgraph {
+
+/// \brief SA vertex program. Ads are modeled as 64 ad ids; a message is the
+/// bitmask of ads its sender newly adopted, and the value tracks adopted and
+/// pending-forward masks.
+struct SaProgram {
+  struct Value {
+    uint64_t adopted = 0;
+    uint64_t pending = 0;
+  };
+  using Message = uint64_t;
+  static constexpr bool kCombinable = false;
+  static constexpr bool kAlwaysActive = false;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  /// Every source_stride-th vertex seeds one ad.
+  uint32_t source_stride = 1000;
+  /// Probability a vertex is interested in a given ad.
+  double interest_prob = 0.35;
+  uint64_t seed = 0x5A5A;
+
+  bool IsSource(VertexId v) const { return v % source_stride == 0; }
+  uint32_t SourceAd(VertexId v) const {
+    return static_cast<uint32_t>((v / source_stride) % 64);
+  }
+  bool Interested(VertexId v, uint32_t ad) const {
+    Rng rng(seed ^ (static_cast<uint64_t>(v) << 8) ^ ad);
+    return rng.NextDouble() < interest_prob;
+  }
+
+  Value InitValue(VertexId v, const SuperstepContext&) const {
+    Value val;
+    if (IsSource(v)) {
+      const uint64_t bit = uint64_t{1} << SourceAd(v);
+      val.adopted = bit;
+      val.pending = bit;
+    }
+    return val;
+  }
+  bool InitActive(VertexId v) const { return IsSource(v); }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) {
+      return {IsSource(v), IsSource(v)};
+    }
+    // Count, per ad, how many responding in-neighbors sent it; adopt the ads
+    // with maximal support that the vertex is interested in.
+    uint32_t counts[64] = {};
+    for (uint64_t mask : msgs) {
+      while (mask) {
+        const int ad = __builtin_ctzll(mask);
+        mask &= mask - 1;
+        ++counts[ad];
+      }
+    }
+    uint32_t best = 0;
+    for (uint32_t c : counts) best = c > best ? c : best;
+    uint64_t newly = 0;
+    if (best > 0) {
+      for (int ad = 0; ad < 64; ++ad) {
+        if (counts[ad] != best) continue;
+        const uint64_t bit = uint64_t{1} << ad;
+        if ((value->adopted & bit) == 0 && Interested(v, ad)) {
+          newly |= bit;
+        }
+      }
+    }
+    value->adopted |= newly;
+    value->pending = newly;
+    return {newly != 0, newly != 0};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge&,
+                     const SuperstepContext&) const {
+    return value.pending;
+  }
+
+  static Message Combine(const Message& a, const Message&) { return a; }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,57 @@
+// Single-source shortest paths: Traversal-Style, combinable (min).
+#pragma once
+
+#include <limits>
+
+#include "core/program.h"
+
+namespace hybridgraph {
+
+/// \brief SSSP vertex program.
+///
+/// The active set starts at one source vertex and sweeps outward, shrinking
+/// again as distances converge — the paper's canonical Traversal-Style
+/// workload where the message volume (and thus the push/b-pull winner)
+/// changes across supersteps.
+struct SsspProgram {
+  using Value = float;
+  using Message = float;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = false;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  VertexId source = 0;
+
+  static constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  Value InitValue(VertexId v, const SuperstepContext&) const {
+    return v == source ? 0.0f : kInf;
+  }
+  bool InitActive(VertexId v) const { return v == source; }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) {
+      return {false, v == source};
+    }
+    float best = kInf;
+    for (float m : msgs) best = best < m ? best : m;
+    if (best < *value) {
+      *value = best;
+      return {true, true};
+    }
+    return {false, false};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge& e,
+                     const SuperstepContext&) const {
+    return value + e.weight;
+  }
+
+  static Message Combine(const Message& a, const Message& b) {
+    return a < b ? a : b;
+  }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,47 @@
+// Weakly connected components via min-label flooding (extension beyond the
+// paper's four workloads): Traversal-Style-ish with combinable (min)
+// messages. Works on the directed edge set as given; run on a symmetrized
+// graph for true weak components.
+#pragma once
+
+#include "core/program.h"
+
+namespace hybridgraph {
+
+/// \brief WCC vertex program: every vertex floods its smallest known id.
+struct WccProgram {
+  using Value = uint32_t;
+  using Message = uint32_t;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAlwaysActive = false;
+  static constexpr size_t kValueSize = sizeof(Value);
+  static constexpr size_t kMessageSize = sizeof(Message);
+
+  Value InitValue(VertexId v, const SuperstepContext&) const { return v; }
+  bool InitActive(VertexId) const { return true; }
+
+  UpdateResult Update(VertexId v, Value* value, const std::vector<Message>& msgs,
+                      const SuperstepContext& ctx) const {
+    if (ctx.superstep == 0) {
+      return {false, true};  // broadcast own id once
+    }
+    uint32_t best = *value;
+    for (uint32_t m : msgs) best = m < best ? m : best;
+    if (best < *value) {
+      *value = best;
+      return {true, true};
+    }
+    return {false, false};
+  }
+
+  Message GenMessage(VertexId, const Value& value, uint32_t, const Edge&,
+                     const SuperstepContext&) const {
+    return value;
+  }
+
+  static Message Combine(const Message& a, const Message& b) {
+    return a < b ? a : b;
+  }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,40 @@
+// Pregel-style global aggregators.
+//
+// A program may opt in by defining:
+//
+//   static constexpr bool kHasAggregator = true;
+//   double AggregateContribution(VertexId v, const Value& old_value,
+//                                const Value& new_value,
+//                                const SuperstepContext& ctx) const;
+//   bool ShouldHalt(double aggregate) const;   // optional early stop
+//
+// The engine sums contributions from every updated vertex during a
+// superstep, combines them across nodes at the barrier (the control traffic
+// is metered like everything else), and exposes the result to the *next*
+// superstep via SuperstepContext::prev_aggregate — standard BSP aggregator
+// semantics. ShouldHalt (evaluated at the barrier with the fresh global sum)
+// lets algorithms like delta-PageRank converge without a fixed superstep
+// count.
+#pragma once
+
+#include <type_traits>
+
+#include "graph/types.h"
+
+namespace hybridgraph {
+
+/// Detects the aggregator opt-in.
+template <typename P>
+concept HasAggregator = requires { requires P::kHasAggregator; };
+
+/// Detects the optional aggregate-based halting rule.
+template <typename P>
+concept HasAggregateHalt = HasAggregator<P> && requires(const P& p, double a) {
+  { p.ShouldHalt(a) } -> std::convertible_to<bool>;
+};
+
+/// Bytes of control traffic one node's aggregate contribution costs on the
+/// wire (value + frame accounting is handled by the transport).
+constexpr size_t kAggregateWireBytes = 8;
+
+}  // namespace hybridgraph

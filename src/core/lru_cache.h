@@ -1,0 +1,91 @@
+// Fixed-capacity LRU cache used by the v-pull engine's disk-resident vertex
+// table (the paper extends GraphLab PowerGraph with exactly this: "The LRU
+// replacing strategy is used to manage vertices").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+namespace hybridgraph {
+
+/// \brief LRU map with eviction callback (invoked with key/value of the
+/// evicted entry, and whether it was marked dirty).
+template <typename K, typename V>
+class LruCache {
+ public:
+  using EvictFn = std::function<void(const K&, const V&, bool dirty)>;
+
+  explicit LruCache(size_t capacity, EvictFn on_evict = nullptr)
+      : capacity_(capacity), on_evict_(std::move(on_evict)) {}
+
+  /// Returns the cached value or nullptr.
+  V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return &it->second->value;
+  }
+
+  /// Inserts (or overwrites) an entry, evicting the LRU one when full.
+  void Put(const K& key, V value, bool dirty) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->value = std::move(value);
+      it->second->dirty = it->second->dirty || dirty;
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (capacity_ == 0) {
+      if (on_evict_) on_evict_(key, value, dirty);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      EvictOne();
+    }
+    order_.push_front(Entry{key, std::move(value), dirty});
+    map_[key] = order_.begin();
+  }
+
+  /// Marks an existing entry dirty; no-op if absent.
+  void MarkDirty(const K& key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) it->second->dirty = true;
+  }
+
+  /// Evicts everything (flushing dirty entries through the callback).
+  void Flush() {
+    while (!map_.empty()) EvictOne();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void RecordMiss() { ++misses_; }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+    bool dirty;
+  };
+
+  void EvictOne() {
+    Entry& victim = order_.back();
+    if (on_evict_) on_evict_(victim.key, victim.value, victim.dirty);
+    map_.erase(victim.key);
+    order_.pop_back();
+  }
+
+  size_t capacity_;
+  EvictFn on_evict_;
+  std::list<Entry> order_;
+  std::unordered_map<K, typename std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,19 @@
+// CSV export of per-superstep metrics — the raw material for re-plotting
+// the paper's figures from a bench or CLI run.
+#pragma once
+
+#include <string>
+
+#include "core/run_metrics.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+/// Renders the per-superstep metric table as CSV (header + one row per
+/// superstep).
+std::string SuperstepMetricsCsv(const JobStats& stats);
+
+/// Writes SuperstepMetricsCsv(stats) to `path`.
+Status WriteSuperstepCsv(const JobStats& stats, const std::string& path);
+
+}  // namespace hybridgraph

@@ -1,0 +1,93 @@
+// The vertex-centric programming API.
+//
+// The paper's key structural idea (Sec 5.2) is to decouple Pregel's
+// compute() into load()/update()/pushRes()/pullRes() so that one program can
+// execute under push, b-pull, or a per-superstep mix. Programs here express
+// exactly that decomposition:
+//
+//   Update(v, value, messages)  — consume messages, produce the new value and
+//                                 the responding flag (setResFlag)
+//   GenMessage(v, value, edge)  — produce the message for one out-edge; the
+//                                 engine invokes it from pushRes() (push) or
+//                                 pullRes() (b-pull) — the program cannot tell
+//                                 which, which is what makes switching seamless
+//   Combine(a, b)               — combiner for commutative+associative
+//                                 messages (PageRank sum, SSSP min)
+//
+// Engines are templates over a Program type satisfying this interface; see
+// algos/ for the four paper algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/codec.h"
+
+namespace hybridgraph {
+
+/// Per-superstep information available to Update/GenMessage.
+struct SuperstepContext {
+  int superstep = 0;
+  uint64_t num_vertices = 0;
+  /// Global aggregate computed at the previous superstep's barrier (0 until
+  /// the program's first contributions land); see core/aggregators.h.
+  double prev_aggregate = 0.0;
+};
+
+/// Returned by Program::Update.
+struct UpdateResult {
+  /// The vertex value changed (drives convergence for traversal algorithms).
+  bool changed = false;
+  /// setResFlag: this vertex must send messages to its out-neighbors — under
+  /// push they go out this superstep, under b-pull they are pulled next one.
+  bool respond = false;
+};
+
+/// Fixed-size POD codec helper: memcpy-based encode/decode used by programs
+/// whose Value/Message are trivially copyable.
+template <typename T>
+struct PodCodec {
+  static constexpr size_t kSize = sizeof(T);
+  static void Encode(const T& v, uint8_t* out) { std::memcpy(out, &v, sizeof(T)); }
+  static T Decode(const uint8_t* in) {
+    T v;
+    std::memcpy(&v, in, sizeof(T));
+    return v;
+  }
+};
+
+// A Program must provide:
+//
+//   using Value = <POD>;
+//   using Message = <POD>;
+//   static constexpr bool kCombinable;     // Combine() is valid
+//   static constexpr bool kAlwaysActive;   // every vertex updates+responds
+//                                          // every superstep (PageRank, LPA)
+//   static constexpr size_t kValueSize = sizeof(Value);
+//   static constexpr size_t kMessageSize = sizeof(Message);
+//
+//   Value InitValue(VertexId v, const SuperstepContext&) const;
+//   bool InitActive(VertexId v) const;     // participates in superstep 0
+//   UpdateResult Update(VertexId v, Value* value,
+//                       const std::vector<Message>& msgs,
+//                       const SuperstepContext&) const;
+//   Message GenMessage(VertexId src, const Value& value, uint32_t out_degree,
+//                      const Edge& e, const SuperstepContext&) const;
+//   static Message Combine(const Message& a, const Message& b);  // if combinable
+//
+// Optionally (used by the MOCgraph pushM engine for online computing):
+//   static constexpr bool kOnlineApplicable = kCombinable;
+
+/// Compile-time sanity checks applied by every engine.
+template <typename P>
+constexpr void StaticCheckProgram() {
+  static_assert(std::is_trivially_copyable_v<typename P::Value>,
+                "Program::Value must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<typename P::Message>,
+                "Program::Message must be trivially copyable");
+  static_assert(P::kValueSize == sizeof(typename P::Value));
+  static_assert(P::kMessageSize == sizeof(typename P::Message));
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,31 @@
+#include "core/run_metrics.h"
+
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+const char* EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kPush:
+      return "push";
+    case EngineMode::kPushM:
+      return "pushM";
+    case EngineMode::kVPull:
+      return "pull";
+    case EngineMode::kBPull:
+      return "b-pull";
+    case EngineMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::string JobStats::Summary() const {
+  return StringFormat(
+      "supersteps=%d converged=%d modeled=%.3fs io=%s net=%s msgs=%llu",
+      supersteps_run, converged ? 1 : 0, modeled_seconds,
+      HumanBytes(TotalIoBytes()).c_str(), HumanBytes(TotalNetBytes()).c_str(),
+      static_cast<unsigned long long>(TotalMessages()));
+}
+
+}  // namespace hybridgraph

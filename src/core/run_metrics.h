@@ -1,0 +1,126 @@
+// Per-superstep and per-job metrics: the observables every paper figure is
+// drawn from (modeled runtime, I/O byte breakdown, network traffic, memory
+// high-water, blocking time, and the hybrid predictor trace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/job_config.h"
+
+namespace hybridgraph {
+
+/// Byte-level I/O breakdown of one superstep (cluster totals), split along
+/// the terms of Eq. (7)/(8).
+struct IoBreakdown {
+  uint64_t vt_bytes = 0;          ///< IO(V^t): vertex value block read+write
+  uint64_t adj_edge_bytes = 0;    ///< IO(E~^t): adjacency blocks read (push)
+  uint64_t msg_spill_write = 0;   ///< IO(M_disk) written (push, random)
+  uint64_t msg_spill_read = 0;    ///< IO(M_disk) read back (push, sequential)
+  uint64_t eblock_edge_bytes = 0; ///< IO(E^t): Eblock edge payload (b-pull)
+  uint64_t fragment_aux_bytes = 0;///< IO(F^t): fragment auxiliary data
+  uint64_t vrr_bytes = 0;         ///< IO(V_rr): random source-vertex reads
+  uint64_t other_bytes = 0;       ///< anything else (v-pull cache traffic...)
+
+  uint64_t Total() const {
+    return vt_bytes + adj_edge_bytes + msg_spill_write + msg_spill_read +
+           eblock_edge_bytes + fragment_aux_bytes + vrr_bytes + other_bytes;
+  }
+};
+
+/// Metrics for one superstep.
+struct SuperstepMetrics {
+  int superstep = 0;
+  EngineMode mode = EngineMode::kPush;  ///< production mode this superstep
+  bool switched = false;                ///< a mode switch happened here
+
+  uint64_t active_vertices = 0;
+  uint64_t responding_vertices = 0;
+  uint64_t messages_produced = 0;   ///< M
+  uint64_t messages_on_wire = 0;    ///< after concatenation/combining
+  uint64_t messages_combined = 0;   ///< M_co: messages removed/shared by concat+combine
+  uint64_t messages_spilled = 0;    ///< |M_disk| (push)
+
+  IoBreakdown io;
+  uint64_t net_bytes = 0;           ///< frame bytes sent cluster-wide
+  uint64_t net_frames = 0;
+
+  /// Modeled time components. Superstep wall time under BSP is the max over
+  /// nodes; we record both the max-based superstep time and the components.
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+  double net_seconds = 0;
+  double blocking_seconds = 0;      ///< message-exchange blocking (Fig 17)
+  double superstep_seconds = 0;     ///< max over nodes of (cpu+io+blocking)
+
+  uint64_t memory_highwater_bytes = 0;
+
+  /// Global aggregator value combined at this superstep's barrier (0 when
+  /// the program has no aggregator).
+  double aggregate = 0;
+
+  /// Hybrid predictor trace (Sec 5.3). q_t is the metric computed this
+  /// superstep; predicted_* are the values assumed for superstep t+Δt, and
+  /// the actual counterpart lands in that later superstep's record.
+  double q_t = 0;
+  double predicted_mco = 0;
+  double predicted_cio_push = 0;
+  double predicted_cio_bpull = 0;
+  /// "Actual" comparable values for this superstep (observed when running the
+  /// mode, estimated otherwise — same convention as the paper's Figs 11-13).
+  double actual_mco = 0;
+  double actual_cio_push = 0;
+  double actual_cio_bpull = 0;
+};
+
+/// Metrics for the graph loading phase (Fig 16).
+struct LoadMetrics {
+  double load_seconds = 0;          ///< modeled: parse + store build
+  uint64_t bytes_written = 0;       ///< bytes written to build the layouts
+  uint64_t adj_bytes = 0;
+  uint64_t veblock_bytes = 0;
+  uint64_t vblock_bytes = 0;
+  uint64_t total_fragments = 0;     ///< f (Theorem 2)
+  uint64_t b_lower_bound = 0;       ///< B_perp = |E|/2 - f
+  /// Partitioning-shuffle traffic during loading (metered_loading only).
+  uint64_t shuffle_net_bytes = 0;
+  double shuffle_seconds = 0;
+};
+
+/// \brief Everything a finished job reports.
+struct JobStats {
+  std::vector<SuperstepMetrics> supersteps;
+  LoadMetrics load;
+  int supersteps_run = 0;
+  bool converged = false;
+  double modeled_seconds = 0;  ///< sum of superstep_seconds
+  double wall_seconds = 0;     ///< actual host time (for reference only)
+
+  uint64_t TotalIoBytes() const {
+    uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.Total();
+    return t;
+  }
+  uint64_t TotalNetBytes() const {
+    uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.net_bytes;
+    return t;
+  }
+  uint64_t TotalMessages() const {
+    uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.messages_produced;
+    return t;
+  }
+  uint64_t MaxMemoryHighwater() const {
+    uint64_t t = 0;
+    for (const auto& s : supersteps)
+      t = t < s.memory_highwater_bytes ? s.memory_highwater_bytes : t;
+    return t;
+  }
+
+  /// One-line summary for bench output.
+  std::string Summary() const;
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,597 @@
+// Vertex-centric pull baseline: a faithful reimplementation of the GraphLab
+// PowerGraph execution model (synchronous GAS over a vertex-cut), extended —
+// exactly like the paper's Sec 6 modification — with disk-resident edges and
+// an LRU-managed disk-resident vertex table.
+//
+// Partitioning: edges are hash-partitioned across nodes (vertex-cut); every
+// vertex has a hash-assigned master, and a replica on each node that holds
+// any of its edges. Per superstep:
+//   Gather  — each node sequentially scans its local edge blob; for every
+//             edge (u,v) with a responding u it reads u's replica value
+//             (LRU cache over the on-disk vertex table: the random-read
+//             storm that makes this baseline I/O-inefficient), computes the
+//             edge message and folds it into a local partial aggregate for v.
+//   Sum     — partial aggregates ship to v's master (network).
+//   Apply   — the master runs update() on the combined gather result.
+//   Scatter — the new value (and responding flag) broadcasts to all replica
+//             nodes (the vertex-cut mirror-synchronization traffic), which
+//             write it back through the LRU cache (dirty evictions become
+//             random writes).
+#pragma once
+
+#include <chrono>
+#include <unordered_map>
+
+#include "core/job_config.h"
+#include "core/lru_cache.h"
+#include "core/program.h"
+#include "core/run_metrics.h"
+#include "graph/edge_list.h"
+#include "io/storage.h"
+#include "net/message_codec.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+template <typename P>
+class VPullEngine {
+ public:
+  using Value = typename P::Value;
+  using Message = typename P::Message;
+
+  VPullEngine(JobConfig config, P program)
+      : config_(std::move(config)), program_(std::move(program)) {
+    StaticCheckProgram<P>();
+  }
+
+  Status Load(const EdgeListGraph& graph);
+  Status Run();
+  Status RunSuperstep();
+
+  const JobStats& stats() const { return stats_; }
+  bool converged() const { return converged_; }
+  Result<std::vector<Value>> GatherValues();
+
+ private:
+  static constexpr size_t kMsgSize = P::kMessageSize;
+  static constexpr size_t kValueRecord = P::kValueSize;
+  static constexpr size_t kEdgeRecord = 12;  // src + dst + weight
+
+  struct Replica {
+    Value value;
+    bool responding = false;
+  };
+
+  struct Node {
+    NodeId id = 0;
+    std::unique_ptr<StorageService> storage;
+
+    // Local edge set (on disk as one blob, scanned sequentially).
+    uint64_t num_edges = 0;
+    uint64_t edge_bytes = 0;
+
+    // Replica table: vertex -> dense local index into the on-disk vertex
+    // table; out-degree is global static metadata kept in memory.
+    std::unordered_map<VertexId, uint32_t> replica_idx;
+    std::vector<VertexId> replica_vertex;  // inverse map
+    std::vector<uint8_t> replica_responding;
+    std::unique_ptr<LruCache<uint32_t, Value>> cache;
+
+    // Master role: owned vertices and where their replicas live.
+    std::vector<VertexId> owned;
+    std::unordered_map<VertexId, std::vector<NodeId>> replica_nodes;
+    // Gather results arriving at the master.
+    std::unordered_map<VertexId, std::vector<Message>> pending;
+
+    // Per-superstep counters.
+    uint64_t updated = 0;
+    uint64_t responded = 0;
+    uint64_t msgs_produced = 0;
+    double cpu_seconds = 0;
+    uint64_t mem_highwater = 0;
+    DiskMeter disk_snapshot;
+    NetMeter net_snapshot;
+  };
+
+  std::string EdgeKey(NodeId n) const { return StringFormat("node%u/gas/edges", n); }
+  std::string VtabKey(NodeId n) const { return StringFormat("node%u/gas/vtab", n); }
+
+  NodeId MasterOf(VertexId v) const {
+    return static_cast<NodeId>((v * 2654435761u) % config_.num_nodes);
+  }
+  NodeId EdgeHome(const RawEdge& e) const {
+    const uint64_t h = (static_cast<uint64_t>(e.src) << 32) | e.dst;
+    return static_cast<NodeId>((h * 0x9E3779B97F4A7C15ULL >> 33) %
+                               config_.num_nodes);
+  }
+
+  /// Reads a replica value through the node's LRU cache.
+  Status CachedRead(Node& node, uint32_t idx, Value* out);
+  /// Writes a replica value through the cache (dirty; evict = random write).
+  Status CachedWrite(Node& node, uint32_t idx, const Value& value);
+
+  Status HandleGatherPartial(Node& node, Slice payload);
+  Status HandleApplyBroadcast(Node& node, Slice payload);
+
+  void BeginAccounting();
+  void EndAccounting();
+
+  JobConfig config_;
+  P program_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> out_degrees_;
+  SuperstepContext ctx_;
+
+  int superstep_ = 0;
+  bool converged_ = false;
+  bool loaded_ = false;
+  uint64_t responding_total_ = 0;
+  JobStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename P>
+Status VPullEngine<P>::Load(const EdgeListGraph& graph) {
+  HG_RETURN_IF_ERROR(graph.Validate());
+  ctx_.num_vertices = graph.num_vertices;
+  config_.cpu.per_vertex_update_s *= config_.cpu.scale;
+  config_.cpu.per_message_s *= config_.cpu.scale;
+  config_.cpu.per_edge_s *= config_.cpu.scale;
+  config_.cpu.per_spilled_message_s *= config_.cpu.scale;
+  config_.cpu.scale = 1.0;
+  out_degrees_ = graph.OutDegrees();
+  const uint32_t T = config_.num_nodes;
+  if (config_.transport == TransportKind::kTcp) {
+    transport_ = std::make_unique<TcpTransport>(T);
+  } else {
+    transport_ = std::make_unique<InProcTransport>(T);
+  }
+  nodes_.resize(T);
+
+  // Assign edges (vertex-cut) and discover replica sets.
+  std::vector<std::vector<RawEdge>> local_edges(T);
+  for (const auto& e : graph.edges) {
+    local_edges[EdgeHome(e)].push_back(e);
+  }
+
+  for (uint32_t i = 0; i < T; ++i) {
+    Node& node = nodes_[i];
+    node.id = i;
+    if (config_.use_file_storage) {
+      HG_ASSIGN_OR_RETURN(node.storage,
+                          FileStorage::Open(config_.storage_dir + "/gas" +
+                                            std::to_string(i)));
+    } else {
+      node.storage = std::make_unique<MemStorage>();
+    }
+    node.storage->EnablePageCache(config_.page_cache_bytes_per_node);
+
+    auto intern = [&](VertexId v) -> uint32_t {
+      auto it = node.replica_idx.find(v);
+      if (it != node.replica_idx.end()) return it->second;
+      const uint32_t idx = static_cast<uint32_t>(node.replica_vertex.size());
+      node.replica_idx.emplace(v, idx);
+      node.replica_vertex.push_back(v);
+      return idx;
+    };
+
+    // Edge blob in shard-hash order: GraphLab's edge shards carry no vertex
+    // id locality, so the gather scan must not hand the LRU a sorted order.
+    std::sort(local_edges[i].begin(), local_edges[i].end(),
+              [](const RawEdge& a, const RawEdge& b) {
+                auto h = [](const RawEdge& e) {
+                  uint64_t x = (static_cast<uint64_t>(e.src) << 32) | e.dst;
+                  x *= 0x9E3779B97F4A7C15ULL;
+                  return x ^ (x >> 29);
+                };
+                return h(a) < h(b);
+              });
+    Buffer buf;
+    Encoder enc(&buf);
+    for (const auto& e : local_edges[i]) {
+      intern(e.src);
+      intern(e.dst);
+      enc.PutFixed32(e.src);
+      enc.PutFixed32(e.dst);
+      enc.PutFloat(e.weight);
+    }
+    HG_RETURN_IF_ERROR(
+        node.storage->Write(EdgeKey(i), buf.AsSlice(), IoClass::kSeqWrite));
+    node.num_edges = local_edges[i].size();
+    node.edge_bytes = buf.size();
+  }
+
+  // Masters own all their hash-assigned vertices (even isolated ones).
+  for (VertexId v = 0; v < graph.num_vertices; ++v) {
+    nodes_[MasterOf(v)].owned.push_back(v);
+  }
+  for (uint32_t i = 0; i < T; ++i) {
+    for (VertexId v : nodes_[i].owned) {
+      auto it = nodes_[i].replica_idx.find(v);
+      if (it == nodes_[i].replica_idx.end()) {
+        const uint32_t idx = static_cast<uint32_t>(nodes_[i].replica_vertex.size());
+        nodes_[i].replica_idx.emplace(v, idx);
+        nodes_[i].replica_vertex.push_back(v);
+      }
+    }
+  }
+  // Replica location lists at the masters.
+  for (uint32_t i = 0; i < T; ++i) {
+    for (VertexId v : nodes_[i].replica_vertex) {
+      nodes_[MasterOf(v)].replica_nodes[v].push_back(i);
+    }
+  }
+
+  // On-disk vertex tables + LRU caches + initial values.
+  for (uint32_t i = 0; i < T; ++i) {
+    Node& node = nodes_[i];
+    Buffer buf;
+    Encoder enc(&buf);
+    std::vector<uint8_t> tmp(kValueRecord);
+    for (VertexId v : node.replica_vertex) {
+      const Value val = program_.InitValue(v, ctx_);
+      PodCodec<Value>::Encode(val, tmp.data());
+      enc.PutRaw(tmp.data(), tmp.size());
+    }
+    HG_RETURN_IF_ERROR(
+        node.storage->Write(VtabKey(i), buf.AsSlice(), IoClass::kSeqWrite));
+    node.replica_responding.assign(node.replica_vertex.size(), 0);
+    for (VertexId v : node.replica_vertex) {
+      if (program_.InitActive(v)) {
+        node.replica_responding[node.replica_idx[v]] = 1;
+      }
+    }
+    const size_t cap = static_cast<size_t>(std::min<uint64_t>(
+        config_.vpull_vertex_cache, node.replica_vertex.size()));
+    Node* node_ptr = &node;
+    node.cache = std::make_unique<LruCache<uint32_t, Value>>(
+        std::max<size_t>(1, cap),
+        [this, node_ptr](const uint32_t& idx, const Value& value, bool dirty) {
+          if (!dirty) return;
+          std::vector<uint8_t> tmp2(kValueRecord);
+          PodCodec<Value>::Encode(value, tmp2.data());
+          // Dirty eviction: random write into the vertex table.
+          Status s = node_ptr->storage->WriteRange(
+              VtabKey(node_ptr->id), uint64_t{idx} * kValueRecord,
+              Slice(tmp2.data(), tmp2.size()), IoClass::kRandWrite);
+          HG_CHECK(s.ok()) << s.ToString();
+        });
+
+    transport_->RegisterHandler(
+        i, RpcMethod::kGatherPartial,
+        [this, node_ptr](NodeId, Slice payload, Buffer*) {
+          return HandleGatherPartial(*node_ptr, payload);
+        });
+    transport_->RegisterHandler(
+        i, RpcMethod::kApplyBroadcast,
+        [this, node_ptr](NodeId, Slice payload, Buffer*) {
+          return HandleApplyBroadcast(*node_ptr, payload);
+        });
+  }
+
+  HG_RETURN_IF_ERROR(transport_->Start());
+
+  uint64_t bytes_written = 0;
+  for (auto& node : nodes_) {
+    bytes_written += node.storage->meter()->WriteBytes();
+  }
+  stats_.load.bytes_written = bytes_written;
+  stats_.load.load_seconds =
+      static_cast<double>(bytes_written) /
+      (config_.disk.seq_write_mbps * 1024.0 * 1024.0) / config_.num_nodes;
+
+  responding_total_ = 0;
+  for (auto& node : nodes_) {
+    for (VertexId v : node.owned) {
+      responding_total_ += program_.InitActive(v) ? 1 : 0;
+    }
+  }
+  loaded_ = true;
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::CachedRead(Node& node, uint32_t idx, Value* out) {
+  if (Value* hit = node.cache->Get(idx)) {
+    *out = *hit;
+    return Status::OK();
+  }
+  node.cache->RecordMiss();
+  node.cpu_seconds += config_.vpull_miss_penalty_s;
+  std::vector<uint8_t> raw;
+  HG_RETURN_IF_ERROR(node.storage->ReadRange(VtabKey(node.id),
+                                             uint64_t{idx} * kValueRecord,
+                                             kValueRecord, &raw,
+                                             IoClass::kRandRead));
+  *out = PodCodec<Value>::Decode(raw.data());
+  node.cache->Put(idx, *out, /*dirty=*/false);
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::CachedWrite(Node& node, uint32_t idx, const Value& value) {
+  node.cache->Put(idx, value, /*dirty=*/true);
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::HandleGatherPartial(Node& node, Slice payload) {
+  std::vector<GroupedBatchCodec::Group> groups;
+  HG_RETURN_IF_ERROR(GroupedBatchCodec::Decode(payload, kMsgSize, &groups));
+  for (const auto& g : groups) {
+    auto& slot = node.pending[g.dst];
+    for (const auto& p : g.payloads) {
+      const Message m = PodCodec<Message>::Decode(p.data());
+      if (P::kCombinable && !slot.empty()) {
+        slot[0] = P::Combine(slot[0], m);
+      } else {
+        slot.push_back(m);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::HandleApplyBroadcast(Node& node, Slice payload) {
+  // (vertex, value, responding) triples from masters to replicas.
+  Decoder dec(payload);
+  uint64_t count;
+  HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  Slice raw;
+  for (uint64_t k = 0; k < count; ++k) {
+    uint32_t v;
+    uint8_t responding;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&v));
+    HG_RETURN_IF_ERROR(dec.GetU8(&responding));
+    HG_RETURN_IF_ERROR(dec.GetRaw(kValueRecord, &raw));
+    auto it = node.replica_idx.find(v);
+    if (it == node.replica_idx.end()) {
+      return Status::Internal("broadcast to node without replica");
+    }
+    const Value value = PodCodec<Value>::Decode(raw.data());
+    HG_RETURN_IF_ERROR(CachedWrite(node, it->second, value));
+    node.replica_responding[it->second] = responding;
+  }
+  return Status::OK();
+}
+
+template <typename P>
+void VPullEngine<P>::BeginAccounting() {
+  for (auto& node : nodes_) {
+    node.updated = 0;
+    node.responded = 0;
+    node.msgs_produced = 0;
+    node.cpu_seconds = 0;
+    node.mem_highwater = 0;
+    node.disk_snapshot = *node.storage->meter();
+    node.net_snapshot = *transport_->meter(node.id);
+  }
+}
+
+template <typename P>
+void VPullEngine<P>::EndAccounting() {
+  SuperstepMetrics m;
+  m.superstep = superstep_;
+  m.mode = EngineMode::kVPull;
+  double max_node_seconds = 0, max_blocking = 0;
+  for (auto& node : nodes_) {
+    m.messages_produced += node.msgs_produced;
+    m.messages_on_wire += node.msgs_produced;
+    m.active_vertices += node.updated;
+    m.responding_vertices += node.responded;
+
+    const DiskMeter disk = node.storage->meter()->DeltaSince(node.disk_snapshot);
+    m.io.adj_edge_bytes += disk.bytes(IoClass::kSeqRead);
+    m.io.vrr_bytes += disk.bytes(IoClass::kRandRead);
+    m.io.other_bytes += disk.bytes(IoClass::kRandWrite) +
+                        disk.bytes(IoClass::kSeqWrite);
+    const NetMeter net = transport_->meter(node.id)->DeltaSince(node.net_snapshot);
+    m.net_bytes += net.bytes_sent;
+    m.net_frames += net.frames_sent;
+
+    const double io_s =
+        config_.memory_resident ? 0.0 : disk.ModeledSeconds(config_.disk);
+    const double net_s = config_.net.SecondsFor(
+        std::max(net.bytes_sent, net.bytes_received));
+    const double work_s = node.cpu_seconds + io_s;
+    const double blocking_s = std::max(0.0, net_s - work_s) +
+                              config_.net.SecondsFor(std::min<uint64_t>(
+                                  config_.sending_threshold_bytes,
+                                  net.bytes_sent));
+    m.cpu_seconds += node.cpu_seconds;
+    m.io_seconds += io_s;
+    m.net_seconds += net_s;
+    max_blocking = std::max(max_blocking, blocking_s);
+    max_node_seconds = std::max(max_node_seconds, work_s + blocking_s);
+    m.memory_highwater_bytes +=
+        node.cache->size() * kValueRecord + node.mem_highwater;
+  }
+  m.blocking_seconds = max_blocking;
+  m.superstep_seconds = max_node_seconds;
+  stats_.supersteps.push_back(m);
+  stats_.modeled_seconds += m.superstep_seconds;
+}
+
+template <typename P>
+Status VPullEngine<P>::RunSuperstep() {
+  if (!loaded_) return Status::FailedPrecondition("Load() first");
+  ctx_.superstep = superstep_;
+  BeginAccounting();
+
+  // -------- Gather: scan local edges, read source replicas, build partials.
+  if (superstep_ > 0) {
+    for (auto& node : nodes_) {
+      // Per destination master node: grouped partial aggregates.
+      std::vector<std::unordered_map<VertexId, std::vector<Message>>> partials(
+          config_.num_nodes);
+      std::vector<uint8_t> raw;
+      HG_RETURN_IF_ERROR(
+          node.storage->Read(EdgeKey(node.id), &raw, IoClass::kSeqRead));
+      Decoder dec{Slice(raw)};
+      Value src_value;
+      while (!dec.AtEnd()) {
+        RawEdge e;
+        HG_RETURN_IF_ERROR(dec.GetFixed32(&e.src));
+        HG_RETURN_IF_ERROR(dec.GetFixed32(&e.dst));
+        HG_RETURN_IF_ERROR(dec.GetFloat(&e.weight));
+        const uint32_t src_idx = node.replica_idx[e.src];
+        if (!node.replica_responding[src_idx]) continue;
+        HG_RETURN_IF_ERROR(CachedRead(node, src_idx, &src_value));
+        const Message msg = program_.GenMessage(
+            e.src, src_value, out_degrees_[e.src], {e.dst, e.weight}, ctx_);
+        ++node.msgs_produced;
+        node.cpu_seconds +=
+            config_.cpu.per_edge_s + config_.cpu.per_message_s;
+        auto& slot = partials[MasterOf(e.dst)][e.dst];
+        if (P::kCombinable && !slot.empty()) {
+          slot[0] = P::Combine(slot[0], msg);
+        } else {
+          slot.push_back(msg);
+        }
+      }
+      // Ship partials to masters.
+      std::vector<uint8_t> tmp(kMsgSize);
+      for (uint32_t y = 0; y < config_.num_nodes; ++y) {
+        if (partials[y].empty()) continue;
+        std::vector<GroupedBatchCodec::Group> groups;
+        groups.reserve(partials[y].size());
+        for (auto& [v, msgs] : partials[y]) {
+          GroupedBatchCodec::Group g;
+          g.dst = v;
+          for (const Message& msg : msgs) {
+            PodCodec<Message>::Encode(msg, tmp.data());
+            g.payloads.push_back(tmp);
+          }
+          groups.push_back(std::move(g));
+        }
+        Buffer payload;
+        GroupedBatchCodec::Encode(groups, kMsgSize, &payload);
+        node.mem_highwater = std::max<uint64_t>(node.mem_highwater, payload.size());
+        HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kGatherPartial,
+                                            payload.AsSlice()));
+      }
+    }
+  }
+
+  // -------- Apply + Scatter at the masters.
+  uint64_t responding_next = 0;
+  std::vector<Message> no_msgs;
+  for (auto& node : nodes_) {
+    // Broadcast staging per replica node.
+    std::vector<Buffer> bodies(config_.num_nodes);
+    std::vector<uint64_t> counts(config_.num_nodes, 0);
+    std::vector<uint8_t> tmp(kValueRecord);
+
+    for (VertexId v : node.owned) {
+      auto pit = node.pending.find(v);
+      const bool has_msgs = pit != node.pending.end();
+      const bool run_update = P::kAlwaysActive
+                                  ? (superstep_ > 0 || program_.InitActive(v))
+                                  : (has_msgs || (superstep_ == 0 &&
+                                                  program_.InitActive(v)));
+      const uint32_t idx = node.replica_idx[v];
+      if (!run_update) {
+        // BSP semantics: a vertex that does not update this superstep does
+        // not respond this superstep. Clear a stale flag on every replica.
+        if (superstep_ > 0 && node.replica_responding[idx]) {
+          node.replica_responding[idx] = 0;
+          Value value;
+          HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
+          std::vector<uint8_t> vtmp(kValueRecord);
+          PodCodec<Value>::Encode(value, vtmp.data());
+          for (NodeId rn : node.replica_nodes[v]) {
+            if (rn == node.id) continue;
+            Encoder enc(&bodies[rn]);
+            enc.PutFixed32(v);
+            enc.PutU8(0);
+            enc.PutRaw(vtmp.data(), vtmp.size());
+            ++counts[rn];
+          }
+        }
+        continue;
+      }
+      Value value;
+      HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
+      const auto& msgs = has_msgs ? pit->second : no_msgs;
+      const UpdateResult res = program_.Update(v, &value, msgs, ctx_);
+      ++node.updated;
+      node.cpu_seconds += config_.cpu.per_vertex_update_s +
+                          config_.cpu.per_message_s * msgs.size();
+      if (res.changed) {
+        HG_RETURN_IF_ERROR(CachedWrite(node, idx, value));
+      }
+      if (res.respond) {
+        ++node.responded;
+        ++responding_next;
+      }
+      const uint8_t responding = res.respond ? 1 : 0;
+      const bool flag_changed =
+          node.replica_responding[idx] != responding;
+      node.replica_responding[idx] = responding;
+      // Mirror synchronization: value/flag changes go to every replica node.
+      if (res.changed || flag_changed) {
+        PodCodec<Value>::Encode(value, tmp.data());
+        for (NodeId rn : node.replica_nodes[v]) {
+          if (rn == node.id) continue;
+          Encoder enc(&bodies[rn]);
+          enc.PutFixed32(v);
+          enc.PutU8(responding);
+          enc.PutRaw(tmp.data(), tmp.size());
+          ++counts[rn];
+        }
+      }
+    }
+    node.pending.clear();
+
+    for (uint32_t y = 0; y < config_.num_nodes; ++y) {
+      if (counts[y] == 0) continue;
+      Buffer framed;
+      Encoder enc(&framed);
+      enc.PutVarint64(counts[y]);
+      enc.PutRaw(bodies[y].data(), bodies[y].size());
+      HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kApplyBroadcast,
+                                          framed.AsSlice()));
+    }
+  }
+
+  EndAccounting();
+  ++superstep_;
+  stats_.supersteps_run = superstep_;
+  responding_total_ = responding_next;
+  if (responding_next == 0 && superstep_ > 0) converged_ = true;
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::Run() {
+  const auto start = std::chrono::steady_clock::now();
+  while (superstep_ < config_.max_supersteps && !converged_) {
+    HG_RETURN_IF_ERROR(RunSuperstep());
+  }
+  stats_.converged = converged_;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return Status::OK();
+}
+
+template <typename P>
+Result<std::vector<typename P::Value>> VPullEngine<P>::GatherValues() {
+  std::vector<Value> out(ctx_.num_vertices);
+  for (auto& node : nodes_) {
+    for (VertexId v : node.owned) {
+      Value value;
+      HG_RETURN_IF_ERROR(CachedRead(node, node.replica_idx[v], &value));
+      out[v] = value;
+    }
+  }
+  return out;
+}
+
+}  // namespace hybridgraph

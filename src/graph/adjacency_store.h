@@ -1,0 +1,59 @@
+// Disk-resident adjacency-list store (the push-side edge layout).
+//
+// Edges are grouped into one block per Vblock of the owning node, each block
+// holding the full out-edge lists of that Vblock's vertices (Giraph-style).
+// pushRes() needs all out-edges of a vertex contiguously, which is exactly
+// what fragments in Eblocks cannot provide — hence hybrid stores edges twice
+// (Sec 5.2), once here and once in VeBlockStore.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/partition.h"
+#include "graph/types.h"
+#include "io/storage.h"
+
+namespace hybridgraph {
+
+class AdjacencyStore {
+ public:
+  /// Out-edge list of one vertex as decoded from a block scan.
+  struct VertexAdj {
+    VertexId id;
+    std::vector<Edge> out;
+  };
+
+  /// Builds the store from this node's local edges (must all have a local
+  /// source). Edges need not be pre-sorted.
+  static Result<std::unique_ptr<AdjacencyStore>> Build(
+      StorageService* storage, const RangePartition& partition, NodeId node,
+      const std::vector<RawEdge>& local_edges);
+
+  /// Sequentially scans one adjacency block (metered kSeqRead). Vertices with
+  /// no out-edges still appear with an empty list.
+  Status ReadBlock(uint32_t global_vb, std::vector<VertexAdj>* out);
+
+  /// Serialized size of one block.
+  uint64_t BlockBytes(uint32_t global_vb) const;
+  /// Number of edges in one block.
+  uint64_t BlockEdges(uint32_t global_vb) const;
+  uint64_t TotalBytes() const;
+  uint64_t TotalEdges() const;
+
+ private:
+  AdjacencyStore(StorageService* storage, const RangePartition& partition,
+                 NodeId node);
+
+  std::string BlockKey(uint32_t global_vb) const;
+  uint32_t LocalVb(uint32_t global_vb) const;
+
+  StorageService* storage_;
+  const RangePartition* partition_;
+  NodeId node_;
+  std::vector<uint64_t> block_bytes_;  // indexed by local vblock
+  std::vector<uint64_t> block_edges_;
+};
+
+}  // namespace hybridgraph

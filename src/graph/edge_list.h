@@ -1,0 +1,55 @@
+// In-memory edge list container with text/binary I/O and degree statistics.
+// This is the loader-side representation; engines convert it into the
+// disk-resident AdjacencyStore / VE-BLOCK layouts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+/// \brief A directed graph as a flat list of edges.
+struct EdgeListGraph {
+  uint64_t num_vertices = 0;
+  std::vector<RawEdge> edges;
+
+  uint64_t num_edges() const { return edges.size(); }
+  double AverageDegree() const {
+    return num_vertices ? static_cast<double>(edges.size()) / num_vertices : 0.0;
+  }
+
+  /// Out-degree per vertex.
+  std::vector<uint32_t> OutDegrees() const;
+  /// In-degree per vertex.
+  std::vector<uint32_t> InDegrees() const;
+  /// Largest out-degree (skew indicator).
+  uint32_t MaxOutDegree() const;
+
+  /// Sorts edges by (src, dst); duplicate edges are kept.
+  void SortBySource();
+
+  /// Validates that all endpoints are < num_vertices.
+  Status Validate() const;
+};
+
+/// Parses "src dst [weight]" per line; '#' or '%' lines are comments.
+/// num_vertices is 1 + max endpoint unless a "# vertices: N" header is given.
+Result<EdgeListGraph> ParseEdgeListText(const std::string& text);
+
+/// Renders the text format (with a "# vertices: N" header).
+std::string WriteEdgeListText(const EdgeListGraph& graph);
+
+/// Compact binary format round-trip (magic + counts + fixed records).
+std::vector<uint8_t> EncodeEdgeListBinary(const EdgeListGraph& graph);
+Result<EdgeListGraph> DecodeEdgeListBinary(const std::vector<uint8_t>& bytes);
+
+/// Reads either format from a file (binary if the magic matches).
+Result<EdgeListGraph> LoadEdgeListFile(const std::string& path);
+Status SaveEdgeListFile(const EdgeListGraph& graph, const std::string& path,
+                        bool binary);
+
+}  // namespace hybridgraph

@@ -1,0 +1,63 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on six real graphs (Table 4). Those datasets are not
+// available offline, so the benches run on *scale models*: synthetic graphs
+// whose vertex count, average degree, degree skew and (for web graphs)
+// diameter are matched to the originals at ~1/200 – 1/1000 scale. The
+// push/b-pull crossover depends on exactly those shape parameters (message
+// volume vs buffer, fragment counts from skew, convergence length from
+// diameter), so the models preserve the behaviour the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+/// Uniform random digraph: each edge picks src and dst uniformly.
+EdgeListGraph GenerateUniform(uint64_t num_vertices, uint64_t num_edges,
+                              uint64_t seed);
+
+/// Power-law "social network" style graph: out-degrees are Zipf(skew)
+/// distributed with mean `avg_degree`; a `locality` fraction of targets land
+/// near the source id (crawl-ordered real graphs exhibit exactly this — it
+/// is what keeps VE-BLOCK fragment counts below the Theorem-2 bound) and the
+/// rest are Zipf-skewed hub picks. Self-loops are re-drawn.
+EdgeListGraph GeneratePowerLaw(uint64_t num_vertices, double avg_degree,
+                               double skew, uint64_t seed,
+                               double locality = 0.65);
+
+/// "Web graph" style: power-law degrees plus strong id-locality (most links
+/// go to nearby ids, a few long-range), producing the large effective
+/// diameter that makes SSSP converge slowly (paper: 284 supersteps on wiki).
+EdgeListGraph GenerateWebGraph(uint64_t num_vertices, double avg_degree,
+                               double skew, double locality, uint64_t seed);
+
+/// \brief Catalog entry for one paper-dataset scale model.
+struct DatasetSpec {
+  std::string name;        ///< e.g. "livej"
+  uint64_t num_vertices;   ///< scaled |V|
+  double avg_degree;       ///< matches Table 4
+  double skew;             ///< Zipf exponent of the degree distribution
+  bool web;                ///< web graph (locality + diameter) vs social
+  double locality;         ///< id-locality of edge targets
+  uint64_t seed;
+  uint32_t default_nodes;  ///< cluster size the paper used (5 or 30)
+
+  /// Scale factor versus the real dataset (for documentation).
+  double scale;
+};
+
+/// The six Table-4 models: livej, wiki, orkut, twi, fri, uk.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a catalog entry by name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Materializes the graph for a catalog entry.
+EdgeListGraph BuildDataset(const DatasetSpec& spec);
+
+}  // namespace hybridgraph

@@ -1,0 +1,83 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+Result<RangePartition> RangePartition::Create(
+    uint64_t num_vertices, uint32_t num_nodes,
+    std::vector<uint32_t> vblocks_per_node) {
+  if (num_nodes == 0) return Status::InvalidArgument("need at least one node");
+  if (vblocks_per_node.size() != num_nodes) {
+    return Status::InvalidArgument("vblocks_per_node size != num_nodes");
+  }
+  if (num_vertices > UINT32_MAX) {
+    return Status::InvalidArgument("vertex id space exceeds 32 bits");
+  }
+  for (uint32_t vb : vblocks_per_node) {
+    if (vb == 0) return Status::InvalidArgument("every node needs >=1 Vblock");
+  }
+
+  RangePartition p;
+  p.num_vertices_ = num_vertices;
+  p.num_nodes_ = num_nodes;
+
+  // Per-node contiguous ranges, sizes differing by at most one.
+  p.node_begin_.resize(num_nodes + 1);
+  const uint64_t base = num_vertices / num_nodes;
+  const uint64_t extra = num_vertices % num_nodes;
+  uint64_t cursor = 0;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    p.node_begin_[i] = static_cast<VertexId>(cursor);
+    cursor += base + (i < extra ? 1 : 0);
+  }
+  p.node_begin_[num_nodes] = static_cast<VertexId>(cursor);
+
+  // Per-node Vblock subranges.
+  p.node_first_vblock_.resize(num_nodes + 1);
+  uint32_t vb_count = 0;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    p.node_first_vblock_[i] = vb_count;
+    vb_count += vblocks_per_node[i];
+  }
+  p.node_first_vblock_[num_nodes] = vb_count;
+
+  p.vblock_begin_.resize(vb_count + 1);
+  p.vblock_node_.resize(vb_count);
+  uint32_t vb = 0;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    const uint64_t n_i = p.node_begin_[i + 1] - p.node_begin_[i];
+    const uint32_t k = vblocks_per_node[i];
+    const uint64_t vb_base = n_i / k;
+    const uint64_t vb_extra = n_i % k;
+    uint64_t c = p.node_begin_[i];
+    for (uint32_t j = 0; j < k; ++j, ++vb) {
+      p.vblock_begin_[vb] = static_cast<VertexId>(c);
+      p.vblock_node_[vb] = i;
+      c += vb_base + (j < vb_extra ? 1 : 0);
+    }
+  }
+  p.vblock_begin_[vb_count] = static_cast<VertexId>(num_vertices);
+  return p;
+}
+
+Result<RangePartition> RangePartition::CreateUniform(uint64_t num_vertices,
+                                                     uint32_t num_nodes,
+                                                     uint32_t vblocks_per_node) {
+  return Create(num_vertices, num_nodes,
+                std::vector<uint32_t>(num_nodes, vblocks_per_node));
+}
+
+NodeId RangePartition::NodeOf(VertexId v) const {
+  auto it = std::upper_bound(node_begin_.begin(), node_begin_.end(), v);
+  return static_cast<NodeId>(it - node_begin_.begin() - 1);
+}
+
+uint32_t RangePartition::VblockOf(VertexId v) const {
+  auto it = std::upper_bound(vblock_begin_.begin(), vblock_begin_.end(), v);
+  return static_cast<uint32_t>(it - vblock_begin_.begin() - 1);
+}
+
+}  // namespace hybridgraph

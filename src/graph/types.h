@@ -1,0 +1,45 @@
+// Core graph types shared across stores and engines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hybridgraph {
+
+using VertexId = uint32_t;
+
+/// An outgoing edge as stored in adjacency lists and Eblock fragments.
+struct Edge {
+  VertexId dst;
+  float weight;
+
+  bool operator==(const Edge& other) const {
+    return dst == other.dst && weight == other.weight;
+  }
+};
+
+/// An edge with explicit source, as produced by loaders and generators.
+struct RawEdge {
+  VertexId src;
+  VertexId dst;
+  float weight;
+
+  bool operator==(const RawEdge& other) const {
+    return src == other.src && dst == other.dst && weight == other.weight;
+  }
+};
+
+/// Serialized sizes on disk/wire: dst (fixed32) + weight (float32).
+constexpr size_t kEdgeEncodedSize = 8;
+
+/// Half-open range of vertex ids.
+struct VertexRange {
+  VertexId begin = 0;
+  VertexId end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool Contains(VertexId v) const { return v >= begin && v < end; }
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,128 @@
+#include "graph/ve_block_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/codec.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+VeBlockStore::VeBlockStore(StorageService* storage,
+                           const RangePartition& partition, NodeId node)
+    : storage_(storage),
+      partition_(&partition),
+      node_(node),
+      first_vb_(partition.FirstVblockOf(node)) {}
+
+std::string VeBlockStore::EblockKey(uint32_t src_vb, uint32_t dst_vb) const {
+  return StringFormat("node%u/eblock/%06u/%06u", node_, src_vb, dst_vb);
+}
+
+Result<std::unique_ptr<VeBlockStore>> VeBlockStore::Build(
+    StorageService* storage, const RangePartition& partition, NodeId node,
+    const std::vector<RawEdge>& local_edges,
+    const std::vector<uint32_t>& in_degrees) {
+  std::unique_ptr<VeBlockStore> store(
+      new VeBlockStore(storage, partition, node));
+  const VertexRange node_range = partition.NodeRange(node);
+  const uint32_t first_vb = partition.FirstVblockOf(node);
+  const uint32_t last_vb = partition.LastVblockOf(node);
+  const uint32_t num_local = last_vb - first_vb;
+  const uint32_t num_global = partition.num_vblocks();
+
+  store->metas_.resize(num_local);
+  store->index_.assign(num_local, std::vector<EblockIndex>(num_global));
+
+  // Metadata X_j: vertex counts and degree totals.
+  for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
+    VblockMeta& meta = store->metas_[vb - first_vb];
+    const VertexRange r = partition.VblockRange(vb);
+    meta.num_vertices = r.size();
+    meta.edge_bitmap.assign(num_global, false);
+    for (VertexId v = r.begin; v < r.end; ++v) {
+      meta.in_degree += in_degrees[v];
+    }
+  }
+
+  // Bucket edges by (local src vblock, global dst vblock, src vertex). Edges
+  // from the same source end up clustered in one fragment per Eblock.
+  // map key: (src_vb local, dst_vb) -> map<src, edges>
+  std::vector<std::map<uint32_t, std::map<VertexId, std::vector<Edge>>>> buckets(
+      num_local);
+  for (const auto& e : local_edges) {
+    if (!node_range.Contains(e.src)) {
+      return Status::InvalidArgument("edge with non-local source in Build");
+    }
+    const uint32_t src_vb = partition.VblockOf(e.src);
+    const uint32_t dst_vb = partition.VblockOf(e.dst);
+    buckets[src_vb - first_vb][dst_vb][e.src].push_back({e.dst, e.weight});
+    store->metas_[src_vb - first_vb].out_degree += 1;
+  }
+
+  for (uint32_t lvb = 0; lvb < num_local; ++lvb) {
+    VblockMeta& meta = store->metas_[lvb];
+    for (auto& [dst_vb, fragments] : buckets[lvb]) {
+      meta.edge_bitmap[dst_vb] = true;
+      Buffer buf;
+      Encoder enc(&buf);
+      EblockIndex& idx = store->index_[lvb][dst_vb];
+      enc.PutVarint64(fragments.size());
+      idx.aux_bytes += VarintLength(fragments.size());
+      for (auto& [src, edges] : fragments) {
+        enc.PutFixed32(src);
+        enc.PutVarint64(edges.size());
+        idx.aux_bytes += 4 + VarintLength(edges.size());
+        for (const auto& edge : edges) {
+          enc.PutFixed32(edge.dst);
+          enc.PutFloat(edge.weight);
+        }
+        idx.edge_bytes += edges.size() * kEdgeEncodedSize;
+        idx.num_edges += edges.size();
+        ++idx.num_fragments;
+      }
+      HG_RETURN_IF_ERROR(storage->Write(store->EblockKey(first_vb + lvb, dst_vb),
+                                        buf.AsSlice(), IoClass::kSeqWrite));
+      store->total_fragments_ += idx.num_fragments;
+      store->total_edge_bytes_ += idx.edge_bytes;
+      store->total_aux_bytes_ += idx.aux_bytes;
+    }
+  }
+  return store;
+}
+
+Status VeBlockStore::ScanEblock(uint32_t src_vb, uint32_t dst_vb,
+                                ScanResult* out) {
+  out->fragments.clear();
+  out->aux_bytes = 0;
+  out->edge_bytes = 0;
+  const EblockIndex& idx = Index(src_vb, dst_vb);
+  if (idx.num_fragments == 0) return Status::OK();
+
+  std::vector<uint8_t> raw;
+  HG_RETURN_IF_ERROR(
+      storage_->Read(EblockKey(src_vb, dst_vb), &raw, IoClass::kSeqRead));
+  Decoder dec{Slice(raw)};
+  uint64_t num_fragments;
+  HG_RETURN_IF_ERROR(dec.GetVarint64(&num_fragments));
+  out->fragments.reserve(num_fragments);
+  for (uint64_t i = 0; i < num_fragments; ++i) {
+    Fragment frag;
+    uint64_t count;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&frag.src));
+    HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
+    frag.edges.resize(count);
+    for (uint64_t k = 0; k < count; ++k) {
+      HG_RETURN_IF_ERROR(dec.GetFixed32(&frag.edges[k].dst));
+      HG_RETURN_IF_ERROR(dec.GetFloat(&frag.edges[k].weight));
+    }
+    out->fragments.push_back(std::move(frag));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("trailing bytes in Eblock");
+  out->aux_bytes = idx.aux_bytes;
+  out->edge_bytes = idx.edge_bytes;
+  return Status::OK();
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,111 @@
+// The VE-BLOCK edge layout (Sec 4.1): for each local Vblock b_j, one Eblock
+// g_ji per destination Vblock b_i, holding the edges (u, v) with u in b_j and
+// v in b_i, clustered into per-source *fragments* (src id + count + edges).
+//
+// Per-Vblock metadata X_j (vertex count, total in/out degree, a bitmap of
+// which destination Vblocks have edges, and a responding indicator) lets
+// Pull-Respond skip Eblocks that cannot produce messages. The store also
+// keeps an in-memory per-Eblock index (fragments / aux bytes / edge bytes) —
+// this is what the hybrid engine uses to *predict* C_io(b-pull) while running
+// push, without touching disk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/partition.h"
+#include "graph/types.h"
+#include "io/storage.h"
+
+namespace hybridgraph {
+
+/// Per-Vblock metadata X_j (paper Sec 4.1).
+struct VblockMeta {
+  uint32_t num_vertices = 0;
+  uint64_t in_degree = 0;   ///< total in-degree of the Vblock's vertices
+  uint64_t out_degree = 0;  ///< total out-degree
+  std::vector<bool> edge_bitmap;  ///< bit i: Eblock g_{j,i} is non-empty
+};
+
+class VeBlockStore {
+ public:
+  /// One decoded fragment: all edges of one source vertex into one Vblock.
+  struct Fragment {
+    VertexId src;
+    std::vector<Edge> edges;
+  };
+
+  /// Result of scanning one Eblock, with the byte split the cost model needs:
+  /// fragment auxiliary data (IO(F)) vs edge payload (IO(E)).
+  struct ScanResult {
+    std::vector<Fragment> fragments;
+    uint64_t aux_bytes = 0;
+    uint64_t edge_bytes = 0;
+  };
+
+  /// Static per-Eblock index entry (available without I/O).
+  struct EblockIndex {
+    uint32_t num_fragments = 0;
+    uint64_t aux_bytes = 0;
+    uint64_t edge_bytes = 0;
+    uint64_t num_edges = 0;
+
+    uint64_t total_bytes() const {
+      // +1 for the fragment-count varint written even when empty? Empty
+      // Eblocks are not stored at all, so zero entries really are zero bytes.
+      return num_fragments == 0 ? 0 : aux_bytes + edge_bytes;
+    }
+  };
+
+  /// Builds Eblocks + metadata from this node's local edges.
+  ///
+  /// \param in_degrees in-degree per *global* vertex id (needed for X_j and
+  ///        the Eq. 6 Vblock sizing; computed once at load time).
+  static Result<std::unique_ptr<VeBlockStore>> Build(
+      StorageService* storage, const RangePartition& partition, NodeId node,
+      const std::vector<RawEdge>& local_edges,
+      const std::vector<uint32_t>& in_degrees);
+
+  /// Sequentially scans Eblock g_{src_vb, dst_vb} (metered kSeqRead; the
+  /// whole block is read — the paper notes useless edges in a block are
+  /// still scanned). Returns NotFound-free empty result for empty Eblocks.
+  Status ScanEblock(uint32_t src_vb, uint32_t dst_vb, ScanResult* out);
+
+  const VblockMeta& Meta(uint32_t global_vb) const {
+    return metas_[LocalVb(global_vb)];
+  }
+  bool HasEdges(uint32_t src_vb, uint32_t dst_vb) const {
+    return metas_[LocalVb(src_vb)].edge_bitmap[dst_vb];
+  }
+  const EblockIndex& Index(uint32_t src_vb, uint32_t dst_vb) const {
+    return index_[LocalVb(src_vb)][dst_vb];
+  }
+
+  /// Fragments across all local Eblocks (the f of Theorem 2).
+  uint64_t TotalFragments() const { return total_fragments_; }
+  uint64_t TotalEdgeBytes() const { return total_edge_bytes_; }
+  uint64_t TotalAuxBytes() const { return total_aux_bytes_; }
+  uint64_t TotalBytes() const { return total_edge_bytes_ + total_aux_bytes_; }
+
+ private:
+  VeBlockStore(StorageService* storage, const RangePartition& partition,
+               NodeId node);
+
+  std::string EblockKey(uint32_t src_vb, uint32_t dst_vb) const;
+  uint32_t LocalVb(uint32_t global_vb) const {
+    return global_vb - first_vb_;
+  }
+
+  StorageService* storage_;
+  const RangePartition* partition_;
+  NodeId node_;
+  uint32_t first_vb_;
+  std::vector<VblockMeta> metas_;                 // per local vblock
+  std::vector<std::vector<EblockIndex>> index_;   // [local vblock][global vblock]
+  uint64_t total_fragments_ = 0;
+  uint64_t total_edge_bytes_ = 0;
+  uint64_t total_aux_bytes_ = 0;
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,42 @@
+// Umbrella public header for the HybridGraph library.
+//
+// Quick start:
+//
+//   #include "hybridgraph/hybridgraph.h"
+//   using namespace hybridgraph;
+//
+//   EdgeListGraph g = GeneratePowerLaw(100000, 16.0, 0.8, /*seed=*/1);
+//   JobConfig cfg;
+//   cfg.mode = EngineMode::kHybrid;       // push | pushM | b-pull | hybrid
+//   cfg.num_nodes = 5;                    // simulated computational nodes
+//   cfg.msg_buffer_per_node = 20000;      // B_i (messages kept in memory)
+//   cfg.max_supersteps = 10;
+//   Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+//   engine.Load(g).ok() && engine.Run().ok();
+//   auto ranks = engine.GatherValues();   // Result<std::vector<double>>
+//   const JobStats& stats = engine.stats();
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction index.
+#pragma once
+
+#include "algos/bfs.h"
+#include "algos/hits.h"
+#include "algos/lpa.h"
+#include "algos/pagerank.h"
+#include "algos/pagerank_delta.h"
+#include "algos/sa.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+#include "core/aggregators.h"
+#include "core/engine.h"
+#include "core/recovery.h"
+#include "core/job_config.h"
+#include "core/program.h"
+#include "core/run_metrics.h"
+#include "core/vpull_engine.h"
+#include "graph/edge_list.h"
+#include "graph/generator.h"
+#include "graph/partition.h"
+#include "util/logging.h"
+#include "util/status.h"

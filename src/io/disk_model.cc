@@ -1,0 +1,49 @@
+#include "io/disk_model.h"
+
+namespace hybridgraph {
+
+const char* IoClassName(IoClass c) {
+  switch (c) {
+    case IoClass::kSeqRead:
+      return "seq_read";
+    case IoClass::kSeqWrite:
+      return "seq_write";
+    case IoClass::kRandRead:
+      return "rand_read";
+    case IoClass::kRandWrite:
+      return "rand_write";
+  }
+  return "unknown";
+}
+
+DiskProfile DiskProfile::Hdd() {
+  return DiskProfile{
+      /*name=*/"hdd",
+      // Runtime model: realistic 7200RPM streaming vs small random records.
+      /*seq_read_mbps=*/90.0,
+      /*seq_write_mbps=*/70.0,
+      /*rand_read_mbps=*/1.2,
+      /*rand_write_mbps=*/1.2,
+      /*per_random_op_s=*/1.5e-6,
+      // Table 3 (fio mixed pattern), used in the Q_t metric.
+      /*qt_rand_read_mbps=*/1.177,
+      /*qt_rand_write_mbps=*/1.182,
+      /*qt_seq_read_mbps=*/2.358,
+  };
+}
+
+DiskProfile DiskProfile::Ssd() {
+  return DiskProfile{
+      /*name=*/"ssd",
+      /*seq_read_mbps=*/180.0,
+      /*seq_write_mbps=*/150.0,
+      /*rand_read_mbps=*/18.0,
+      /*rand_write_mbps=*/18.0,
+      /*per_random_op_s=*/1e-6,
+      /*qt_rand_read_mbps=*/18.177,
+      /*qt_rand_write_mbps=*/18.194,
+      /*qt_seq_read_mbps=*/18.270,
+  };
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,118 @@
+#include "io/message_spill.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+MessageSpill::MessageSpill(StorageService* storage, std::string key_prefix,
+                           size_t payload_size)
+    : storage_(storage),
+      key_prefix_(std::move(key_prefix)),
+      payload_size_(payload_size) {}
+
+std::string MessageSpill::RunKey(size_t i) const {
+  return StringFormat("%s/run-%06zu", key_prefix_.c_str(), i);
+}
+
+Status MessageSpill::SpillRun(std::vector<SpillEntry> entries) {
+  if (entries.empty()) return Status::OK();
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const SpillEntry& a, const SpillEntry& b) { return a.dst < b.dst; });
+  Buffer buf;
+  Encoder enc(&buf);
+  enc.PutFixed64(entries.size());
+  for (const auto& e : entries) {
+    HG_DCHECK(e.payload.size() == payload_size_)
+        << "payload size mismatch: " << e.payload.size() << " vs " << payload_size_;
+    enc.PutFixed32(e.dst);
+    enc.PutRaw(e.payload.data(), e.payload.size());
+  }
+  // Random write: destination-vertex order has no locality on disk.
+  HG_RETURN_IF_ERROR(
+      storage_->Write(RunKey(num_runs_), buf.AsSlice(), IoClass::kRandWrite));
+  ++num_runs_;
+  num_messages_ += entries.size();
+  bytes_written_ += buf.size();
+  return Status::OK();
+}
+
+namespace {
+
+/// Decoded view of one run during the merge.
+struct RunCursor {
+  std::vector<uint8_t> data;
+  size_t pos = 0;
+  uint64_t remaining = 0;
+  uint32_t dst = 0;
+
+  Status Init(size_t payload_size) {
+    Decoder dec{Slice(data)};
+    HG_RETURN_IF_ERROR(dec.GetFixed64(&remaining));
+    pos = dec.position();
+    return Advance(payload_size);
+  }
+
+  // Loads the next head destination; remaining counts entries not yet emitted.
+  Status Advance(size_t payload_size) {
+    if (remaining == 0) return Status::OK();
+    Decoder dec(Slice(data.data() + pos, data.size() - pos));
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&dst));
+    pos += dec.position();
+    (void)payload_size;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status MessageSpill::MergeReadAll(std::vector<SpillEntry>* out) {
+  if (num_runs_ == 0) return Status::OK();
+  std::vector<RunCursor> runs(num_runs_);
+  for (size_t i = 0; i < num_runs_; ++i) {
+    // Runs were written contiguously; merge scans them sequentially.
+    HG_RETURN_IF_ERROR(
+        storage_->Read(RunKey(i), &runs[i].data, IoClass::kSeqRead));
+    HG_RETURN_IF_ERROR(runs[i].Init(payload_size_));
+  }
+
+  using HeapItem = std::pair<uint32_t, size_t>;  // (dst, run index)
+  auto cmp = [](const HeapItem& a, const HeapItem& b) { return a.first > b.first; };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].remaining > 0) heap.emplace(runs[i].dst, i);
+  }
+
+  out->reserve(out->size() + num_messages_);
+  while (!heap.empty()) {
+    auto [dst, ri] = heap.top();
+    heap.pop();
+    RunCursor& rc = runs[ri];
+    SpillEntry e;
+    e.dst = dst;
+    e.payload.assign(rc.data.begin() + static_cast<ptrdiff_t>(rc.pos),
+                     rc.data.begin() + static_cast<ptrdiff_t>(rc.pos + payload_size_));
+    rc.pos += payload_size_;
+    --rc.remaining;
+    out->push_back(std::move(e));
+    if (rc.remaining > 0) {
+      HG_RETURN_IF_ERROR(rc.Advance(payload_size_));
+      heap.emplace(rc.dst, ri);
+    }
+  }
+  return Status::OK();
+}
+
+Status MessageSpill::Clear() {
+  for (size_t i = 0; i < num_runs_; ++i) {
+    HG_RETURN_IF_ERROR(storage_->Delete(RunKey(i)));
+  }
+  num_runs_ = 0;
+  num_messages_ = 0;
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,280 @@
+#include "io/storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------- page cache (in base)
+
+bool StorageService::CacheLookupOrInsert(const std::string& key,
+                                         uint64_t blob_size) {
+  if (page_cache_capacity_ == 0) return false;
+  auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
+    return true;
+  }
+  CacheInsert(key, blob_size);
+  return false;
+}
+
+void StorageService::CacheInsert(const std::string& key, uint64_t blob_size) {
+  if (page_cache_capacity_ == 0 || blob_size > page_cache_capacity_) return;
+  auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    page_cache_used_ -= it->second->second;
+    it->second->second = blob_size;
+    page_cache_used_ += blob_size;
+    cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
+  } else {
+    cache_order_.emplace_front(key, blob_size);
+    cache_map_[key] = cache_order_.begin();
+    page_cache_used_ += blob_size;
+  }
+  CacheEvictToFit();
+}
+
+void StorageService::CacheEvictToFit() {
+  while (page_cache_used_ > page_cache_capacity_ && !cache_order_.empty()) {
+    auto& victim = cache_order_.back();
+    page_cache_used_ -= victim.second;
+    cache_map_.erase(victim.first);
+    cache_order_.pop_back();
+  }
+}
+
+void StorageService::DropFromCache(const std::string& key) {
+  auto it = cache_map_.find(key);
+  if (it == cache_map_.end()) return;
+  page_cache_used_ -= it->second->second;
+  cache_order_.erase(it->second);
+  cache_map_.erase(it);
+}
+
+void StorageService::MeterRead(const std::string& key, uint64_t blob_size,
+                               uint64_t bytes, IoClass cls) {
+  if (CacheLookupOrInsert(key, blob_size)) {
+    meter_.RecordCached(cls, bytes);
+  } else {
+    meter_.Record(cls, bytes);
+  }
+}
+
+void StorageService::MeterWrite(const std::string& key, uint64_t blob_size,
+                                uint64_t bytes, IoClass cls) {
+  // Write-through: device cost always; written pages land in the cache.
+  meter_.Record(cls, bytes);
+  CacheInsert(key, blob_size);
+}
+
+// ---------------------------------------------------------------- MemStorage
+
+Status MemStorage::Write(const std::string& key, Slice data, IoClass cls) {
+  blobs_[key].assign(data.data(), data.data() + data.size());
+  MeterWrite(key, data.size(), data.size(), cls);
+  return Status::OK();
+}
+
+Status MemStorage::Append(const std::string& key, Slice data, IoClass cls) {
+  auto& blob = blobs_[key];
+  blob.insert(blob.end(), data.data(), data.data() + data.size());
+  MeterWrite(key, blob.size(), data.size(), cls);
+  return Status::OK();
+}
+
+Status MemStorage::Read(const std::string& key, std::vector<uint8_t>* out,
+                        IoClass cls) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
+  *out = it->second;
+  MeterRead(key, it->second.size(), out->size(), cls);
+  return Status::OK();
+}
+
+Status MemStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
+                             std::vector<uint8_t>* out, IoClass cls) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
+  const auto& blob = it->second;
+  if (offset + len > blob.size()) {
+    return Status::OutOfRange(StringFormat(
+        "read [%llu,%llu) past blob size %llu of %s",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(offset + len),
+        static_cast<unsigned long long>(blob.size()), key.c_str()));
+  }
+  out->assign(blob.begin() + static_cast<ptrdiff_t>(offset),
+              blob.begin() + static_cast<ptrdiff_t>(offset + len));
+  MeterRead(key, blob.size(), len, cls);
+  return Status::OK();
+}
+
+Status MemStorage::WriteRange(const std::string& key, uint64_t offset,
+                              Slice data, IoClass cls) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
+  auto& blob = it->second;
+  if (offset + data.size() > blob.size()) {
+    return Status::OutOfRange("range write past end of " + key);
+  }
+  std::copy(data.data(), data.data() + data.size(),
+            blob.begin() + static_cast<ptrdiff_t>(offset));
+  MeterWrite(key, blob.size(), data.size(), cls);
+  return Status::OK();
+}
+
+bool MemStorage::Exists(const std::string& key) const {
+  return blobs_.count(key) > 0;
+}
+
+Status MemStorage::Delete(const std::string& key) {
+  blobs_.erase(key);
+  DropFromCache(key);
+  return Status::OK();
+}
+
+uint64_t MemStorage::SizeOf(const std::string& key) const {
+  auto it = blobs_.find(key);
+  return it == blobs_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> MemStorage::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- FileStorage
+
+Result<std::unique_ptr<FileStorage>> FileStorage::Open(const std::string& root_dir) {
+  std::error_code ec;
+  fs::create_directories(root_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create storage dir " + root_dir + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<FileStorage>(new FileStorage(root_dir));
+}
+
+std::string FileStorage::PathFor(const std::string& key) const {
+  return root_dir_ + "/" + key;
+}
+
+Status FileStorage::Write(const std::string& key, Slice data, IoClass cls) {
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IoError("write failed: " + path);
+  MeterWrite(key, data.size(), data.size(), cls);
+  return Status::OK();
+}
+
+Status FileStorage::Append(const std::string& key, Slice data, IoClass cls) {
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  if (!f) return Status::IoError("cannot open for append: " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IoError("append failed: " + path);
+  MeterWrite(key, SizeOf(key), data.size(), cls);
+  return Status::OK();
+}
+
+Status FileStorage::Read(const std::string& key, std::vector<uint8_t>* out,
+                         IoClass cls) {
+  const std::string path = PathFor(key);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::NotFound("no blob file: " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 && !f.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+  MeterRead(key, static_cast<uint64_t>(size), out->size(), cls);
+  return Status::OK();
+}
+
+Status FileStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
+                              std::vector<uint8_t>* out, IoClass cls) {
+  const std::string path = PathFor(key);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::NotFound("no blob file: " + path);
+  const uint64_t size = static_cast<uint64_t>(f.tellg());
+  if (offset + len > size) {
+    return Status::OutOfRange("range read past end of " + path);
+  }
+  f.seekg(static_cast<std::streamoff>(offset));
+  out->resize(static_cast<size_t>(len));
+  if (len > 0 && !f.read(reinterpret_cast<char*>(out->data()),
+                         static_cast<std::streamsize>(len))) {
+    return Status::IoError("range read failed: " + path);
+  }
+  MeterRead(key, size, len, cls);
+  return Status::OK();
+}
+
+Status FileStorage::WriteRange(const std::string& key, uint64_t offset,
+                               Slice data, IoClass cls) {
+  const std::string path = PathFor(key);
+  if (!Exists(key)) return Status::NotFound("no blob file: " + path);
+  if (offset + data.size() > SizeOf(key)) {
+    return Status::OutOfRange("range write past end of " + path);
+  }
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return Status::NotFound("no blob file: " + path);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IoError("range write failed: " + path);
+  MeterWrite(key, SizeOf(key), data.size(), cls);
+  return Status::OK();
+}
+
+bool FileStorage::Exists(const std::string& key) const {
+  return fs::exists(PathFor(key));
+}
+
+Status FileStorage::Delete(const std::string& key) {
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  DropFromCache(key);
+  return Status::OK();
+}
+
+uint64_t FileStorage::SizeOf(const std::string& key) const {
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(key), ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+std::vector<std::string> FileStorage::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_dir_, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string rel = fs::relative(it->path(), root_dir_, ec).string();
+    if (rel.compare(0, prefix.size(), prefix) == 0) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,139 @@
+// Per-node storage service: a keyed blob store through which all
+// "disk-resident" data (adjacency blocks, Vblocks, Eblocks, message spills)
+// is written and read. Every access declares its IoClass and is metered.
+//
+// Two backends share the interface: MemStorage keeps blobs in memory (fast,
+// used by benches — modeled time comes from the meter, not from real device
+// speed) and FileStorage writes real files under a directory (used by tests
+// to validate that the layered formats round-trip through a real filesystem).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/disk_model.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+/// \brief Abstract keyed blob store with metered access and an optional
+/// whole-blob LRU page cache (reads of cached blobs are metered at RAM cost;
+/// writes always pay device cost and refresh the cache).
+class StorageService {
+ public:
+  virtual ~StorageService() = default;
+
+  /// Turns on the page-cache model with the given capacity (0 disables).
+  void EnablePageCache(uint64_t capacity_bytes) {
+    page_cache_capacity_ = capacity_bytes;
+  }
+  uint64_t page_cache_capacity() const { return page_cache_capacity_; }
+
+  /// Replaces the blob at `key` with `data`.
+  virtual Status Write(const std::string& key, Slice data, IoClass cls) = 0;
+
+  /// Appends `data` to the blob at `key`, creating it if absent.
+  virtual Status Append(const std::string& key, Slice data, IoClass cls) = 0;
+
+  /// Reads the whole blob into `*out`.
+  virtual Status Read(const std::string& key, std::vector<uint8_t>* out,
+                      IoClass cls) = 0;
+
+  /// Reads `len` bytes starting at `offset` into `*out`.
+  virtual Status ReadRange(const std::string& key, uint64_t offset, uint64_t len,
+                           std::vector<uint8_t>* out, IoClass cls) = 0;
+
+  /// Overwrites `data.size()` bytes at `offset` within an existing blob.
+  virtual Status WriteRange(const std::string& key, uint64_t offset, Slice data,
+                            IoClass cls) = 0;
+
+  virtual bool Exists(const std::string& key) const = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  /// Size in bytes of the blob, or 0 if absent.
+  virtual uint64_t SizeOf(const std::string& key) const = 0;
+  /// All keys with the given prefix, sorted.
+  virtual std::vector<std::string> ListKeys(const std::string& prefix) const = 0;
+
+  DiskMeter* meter() { return &meter_; }
+  const DiskMeter& meter() const { return meter_; }
+
+ protected:
+  /// Meters a read of `bytes` from blob `key` (total size `blob_size`),
+  /// consulting/updating the page cache.
+  void MeterRead(const std::string& key, uint64_t blob_size, uint64_t bytes,
+                 IoClass cls);
+  /// Meters a write and refreshes the blob's cache entry.
+  void MeterWrite(const std::string& key, uint64_t blob_size, uint64_t bytes,
+                  IoClass cls);
+  void DropFromCache(const std::string& key);
+
+  DiskMeter meter_;
+
+ private:
+  bool CacheLookupOrInsert(const std::string& key, uint64_t blob_size);
+  void CacheInsert(const std::string& key, uint64_t blob_size);
+  void CacheEvictToFit();
+
+  uint64_t page_cache_capacity_ = 0;
+  uint64_t page_cache_used_ = 0;
+  std::list<std::pair<std::string, uint64_t>> cache_order_;
+  std::map<std::string, std::list<std::pair<std::string, uint64_t>>::iterator>
+      cache_map_;
+};
+
+/// \brief In-memory backend: blobs live in a map; access is metered exactly
+/// like the file backend so modeled I/O time is identical.
+class MemStorage : public StorageService {
+ public:
+  Status Write(const std::string& key, Slice data, IoClass cls) override;
+  Status Append(const std::string& key, Slice data, IoClass cls) override;
+  Status Read(const std::string& key, std::vector<uint8_t>* out,
+              IoClass cls) override;
+  Status ReadRange(const std::string& key, uint64_t offset, uint64_t len,
+                   std::vector<uint8_t>* out, IoClass cls) override;
+  Status WriteRange(const std::string& key, uint64_t offset, Slice data,
+                    IoClass cls) override;
+  bool Exists(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  uint64_t SizeOf(const std::string& key) const override;
+  std::vector<std::string> ListKeys(const std::string& prefix) const override;
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> blobs_;
+};
+
+/// \brief File-backed backend: each key maps to a file under `root_dir`
+/// (slashes in keys become subdirectories).
+class FileStorage : public StorageService {
+ public:
+  /// Creates `root_dir` if needed.
+  static Result<std::unique_ptr<FileStorage>> Open(const std::string& root_dir);
+
+  Status Write(const std::string& key, Slice data, IoClass cls) override;
+  Status Append(const std::string& key, Slice data, IoClass cls) override;
+  Status Read(const std::string& key, std::vector<uint8_t>* out,
+              IoClass cls) override;
+  Status ReadRange(const std::string& key, uint64_t offset, uint64_t len,
+                   std::vector<uint8_t>* out, IoClass cls) override;
+  Status WriteRange(const std::string& key, uint64_t offset, Slice data,
+                    IoClass cls) override;
+  bool Exists(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  uint64_t SizeOf(const std::string& key) const override;
+  std::vector<std::string> ListKeys(const std::string& prefix) const override;
+
+  const std::string& root_dir() const { return root_dir_; }
+
+ private:
+  explicit FileStorage(std::string root_dir) : root_dir_(std::move(root_dir)) {}
+  std::string PathFor(const std::string& key) const;
+
+  std::string root_dir_;
+};
+
+}  // namespace hybridgraph

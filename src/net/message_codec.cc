@@ -1,0 +1,82 @@
+#include "net/message_codec.h"
+
+#include "util/logging.h"
+
+namespace hybridgraph {
+
+void FlatBatchCodec::Encode(
+    const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& msgs,
+    size_t payload_size, Buffer* out) {
+  Encoder enc(out);
+  enc.PutVarint64(msgs.size());
+  for (const auto& [dst, payload] : msgs) {
+    HG_DCHECK(payload.size() == payload_size);
+    enc.PutFixed32(dst);
+    enc.PutRaw(payload.data(), payload.size());
+  }
+}
+
+Status FlatBatchCodec::Decode(
+    Slice data, size_t payload_size,
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>>* out) {
+  Decoder dec(data);
+  uint64_t count;
+  HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t dst;
+    Slice payload;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&dst));
+    HG_RETURN_IF_ERROR(dec.GetRaw(payload_size, &payload));
+    out->emplace_back(dst, std::vector<uint8_t>(payload.data(),
+                                                payload.data() + payload.size()));
+  }
+  return Status::OK();
+}
+
+void GroupedBatchCodec::Encode(const std::vector<Group>& groups,
+                               size_t payload_size, Buffer* out) {
+  Encoder enc(out);
+  enc.PutVarint64(groups.size());
+  for (const auto& g : groups) {
+    enc.PutFixed32(g.dst);
+    enc.PutVarint64(g.payloads.size());
+    for (const auto& p : g.payloads) {
+      HG_DCHECK(p.size() == payload_size);
+      enc.PutRaw(p.data(), p.size());
+    }
+  }
+}
+
+Status GroupedBatchCodec::Decode(Slice data, size_t payload_size,
+                                 std::vector<Group>* out) {
+  Decoder dec(data);
+  uint64_t num_groups;
+  HG_RETURN_IF_ERROR(dec.GetVarint64(&num_groups));
+  out->reserve(out->size() + num_groups);
+  for (uint64_t i = 0; i < num_groups; ++i) {
+    Group g;
+    uint64_t n;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&g.dst));
+    HG_RETURN_IF_ERROR(dec.GetVarint64(&n));
+    g.payloads.reserve(n);
+    for (uint64_t j = 0; j < n; ++j) {
+      Slice payload;
+      HG_RETURN_IF_ERROR(dec.GetRaw(payload_size, &payload));
+      g.payloads.emplace_back(payload.data(), payload.data() + payload.size());
+    }
+    out->push_back(std::move(g));
+  }
+  return Status::OK();
+}
+
+uint64_t GroupedBatchCodec::EncodedSize(const std::vector<Group>& groups,
+                                        size_t payload_size) {
+  uint64_t size = VarintLength(groups.size());
+  for (const auto& g : groups) {
+    size += 4 + VarintLength(g.payloads.size()) + g.payloads.size() * payload_size;
+  }
+  return size;
+}
+
+}  // namespace hybridgraph

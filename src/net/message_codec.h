@@ -1,0 +1,48 @@
+// Wire encoding of message batches.
+//
+// push batch:       [count][ (dst_vertex fixed32, payload raw) x count ]
+// concatenated:     [groups][ (dst_vertex fixed32, n varint, payload x n) ... ]
+//
+// Concatenation is the paper's first communication optimization for
+// pull-based transfers: message values destined for the same vertex share a
+// single destination id on the wire. Combined batches degenerate to
+// concatenated groups of size 1 (after the combiner collapsed the values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/codec.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+/// \brief A flat batch: one payload per destination (push wire format).
+struct FlatBatchCodec {
+  /// Appends the batch; every payload must be exactly `payload_size` bytes.
+  static void Encode(const std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& msgs,
+                     size_t payload_size, Buffer* out);
+
+  /// Decodes into (dst, payload) pairs appended to *out.
+  static Status Decode(Slice data, size_t payload_size,
+                       std::vector<std::pair<uint32_t, std::vector<uint8_t>>>* out);
+};
+
+/// \brief A grouped batch: per destination vertex, several payloads share one
+/// id (pull/b-pull wire format after concatenation or combining).
+struct GroupedBatchCodec {
+  struct Group {
+    uint32_t dst;
+    std::vector<std::vector<uint8_t>> payloads;
+  };
+
+  static void Encode(const std::vector<Group>& groups, size_t payload_size,
+                     Buffer* out);
+  static Status Decode(Slice data, size_t payload_size, std::vector<Group>* out);
+
+  /// Serialized size without materializing the buffer (used by flow control).
+  static uint64_t EncodedSize(const std::vector<Group>& groups, size_t payload_size);
+};
+
+}  // namespace hybridgraph

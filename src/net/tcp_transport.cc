@@ -1,0 +1,254 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+namespace {
+
+constexpr uint8_t kKindPost = 0;
+constexpr uint8_t kKindCall = 1;
+constexpr uint8_t kAck = 0xA5;
+
+Status ReadExact(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r == 0) return Status::NetworkError("connection closed");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(StringFormat("read: %s", strerror(errno)));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteExact(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::write(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(StringFormat("write: %s", strerror(errno)));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(uint32_t num_nodes)
+    : Transport(num_nodes),
+      listen_fds_(num_nodes, -1),
+      ports_(num_nodes, 0),
+      conn_fds_(static_cast<size_t>(num_nodes) * num_nodes, -1) {}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Status TcpTransport::Start() {
+  if (started_.load()) return Status::OK();
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::NetworkError("socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return Status::NetworkError("bind() failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports_[i] = ntohs(addr.sin_port);
+    if (::listen(fd, 64) < 0) {
+      ::close(fd);
+      return Status::NetworkError("listen() failed");
+    }
+    listen_fds_[i] = fd;
+  }
+  started_.store(true);
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    server_threads_.emplace_back([this, i] { ServeNode(i); });
+  }
+  return Status::OK();
+}
+
+void TcpTransport::ServeNode(NodeId node) {
+  std::vector<std::thread> conn_threads;
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fds_[node], nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn_threads.emplace_back([this, node, fd] { ServeConnection(node, fd); });
+  }
+  for (auto& t : conn_threads) t.join();
+}
+
+void TcpTransport::ServeConnection(NodeId node, int fd) {
+  std::vector<uint8_t> header(1 + FrameHeader::kEncodedSize);
+  std::vector<uint8_t> payload;
+  while (!stopping_.load()) {
+    if (!ReadExact(fd, header.data(), header.size()).ok()) break;
+    const uint8_t kind = header[0];
+    Decoder dec(Slice(header.data() + 1, FrameHeader::kEncodedSize));
+    FrameHeader hdr;
+    if (!FrameHeader::DecodeFrom(&dec, &hdr).ok()) break;
+    payload.resize(hdr.payload_size);
+    if (hdr.payload_size > 0 &&
+        !ReadExact(fd, payload.data(), payload.size()).ok()) {
+      break;
+    }
+
+    Buffer response;
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mutex_);
+      st = Dispatch(hdr, Slice(payload.data(), payload.size()), &response);
+    }
+    if (!st.ok()) {
+      HG_LOG(ERROR) << "tcp dispatch failed at node " << node << ": "
+                    << st.ToString();
+      break;
+    }
+    if (kind == kKindCall) {
+      Buffer framed;
+      Encoder enc(&framed);
+      enc.PutFixed32(static_cast<uint32_t>(response.size()));
+      enc.PutRaw(response.data(), response.size());
+      if (!WriteExact(fd, framed.data(), framed.size()).ok()) break;
+    } else {
+      if (!WriteExact(fd, &kAck, 1).ok()) break;
+    }
+  }
+  ::close(fd);
+}
+
+Status TcpTransport::ConnectTo(NodeId src, NodeId dst, int* out) {
+  std::lock_guard<std::mutex> lock(connect_mutex_);
+  int& fd = conn_fds_[static_cast<size_t>(src) * num_nodes_ + dst];
+  if (fd >= 0) {
+    *out = fd;
+    return Status::OK();
+  }
+  const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s < 0) return Status::NetworkError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ports_[dst]);
+  if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(s);
+    return Status::NetworkError(
+        StringFormat("connect to node %u: %s", dst, strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(s, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd = s;
+  *out = s;
+  return Status::OK();
+}
+
+Status TcpTransport::SendFrame(NodeId src, NodeId dst, RpcMethod method,
+                               Slice payload, bool is_call,
+                               std::vector<uint8_t>* response) {
+  if (src >= num_nodes_ || dst >= num_nodes_) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (!started_.load()) return Status::FailedPrecondition("Start() first");
+
+  // Publish the caller's writes to the server thread (paired with the
+  // dispatch lock acquisition there).
+  { std::lock_guard<std::mutex> lock(dispatch_mutex_); }
+
+  int fd;
+  HG_RETURN_IF_ERROR(ConnectTo(src, dst, &fd));
+
+  Buffer frame;
+  Encoder enc(&frame);
+  enc.PutU8(is_call ? kKindCall : kKindPost);
+  FrameHeader hdr{src, dst, method, static_cast<uint32_t>(payload.size())};
+  hdr.EncodeTo(&enc);
+  enc.PutRaw(payload.data(), payload.size());
+  HG_RETURN_IF_ERROR(WriteExact(fd, frame.data(), frame.size()));
+
+  const bool metered = ShouldMeter(src, dst);
+  const uint64_t wire_bytes = FrameHeader::kEncodedSize + payload.size();
+  if (metered) MeterFrame(src, dst, wire_bytes);
+
+  if (is_call) {
+    uint8_t lenbuf[4];
+    HG_RETURN_IF_ERROR(ReadExact(fd, lenbuf, sizeof(lenbuf)));
+    Decoder dec(Slice(lenbuf, sizeof(lenbuf)));
+    uint32_t len;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&len));
+    response->resize(len);
+    if (len > 0) {
+      HG_RETURN_IF_ERROR(ReadExact(fd, response->data(), len));
+    }
+    if (metered) MeterFrame(dst, src, FrameHeader::kEncodedSize + len);
+  } else {
+    uint8_t ack;
+    HG_RETURN_IF_ERROR(ReadExact(fd, &ack, 1));
+    if (ack != kAck) return Status::NetworkError("bad ack");
+  }
+  // Pull the handler's writes back into the caller thread.
+  { std::lock_guard<std::mutex> lock(dispatch_mutex_); }
+  return Status::OK();
+}
+
+Status TcpTransport::Post(NodeId src, NodeId dst, RpcMethod method,
+                          Slice payload) {
+  return SendFrame(src, dst, method, payload, /*is_call=*/false, nullptr);
+}
+
+Status TcpTransport::Call(NodeId src, NodeId dst, RpcMethod method,
+                          Slice payload, std::vector<uint8_t>* response) {
+  return SendFrame(src, dst, method, payload, /*is_call=*/true, response);
+}
+
+void TcpTransport::Shutdown() {
+  if (!started_.load()) return;
+  stopping_.store(true);
+  for (int& fd : conn_fds_) {
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  for (int& fd : listen_fds_) {
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  for (auto& t : server_threads_) {
+    if (t.joinable()) t.join();
+  }
+  server_threads_.clear();
+  started_.store(false);
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,65 @@
+// TCP transport: the same frame protocol carried over real loopback sockets.
+//
+// Each node owns a listening socket served by its own thread; callers keep
+// one persistent connection per (src, dst) pair. The wire protocol is
+//
+//   request:  [kind u8: 0=post 1=call][FrameHeader][payload]
+//   response: post -> [ack u8] ; call -> [len fixed32][payload]
+//
+// Handler dispatch is serialized by a transport-wide mutex, which both keeps
+// the (single-threaded) engine state safe and provides the happens-before
+// edges between the driver thread and the server threads.
+//
+// The in-process transport remains the default (deterministic, no kernel in
+// the loop); the TCP transport exists to prove the RPC layer end-to-end over
+// real sockets, and the full engine stack runs on it (see
+// transport config in JobConfig and the tcp tests).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace hybridgraph {
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(uint32_t num_nodes);
+  ~TcpTransport() override;
+
+  /// Binds one loopback listener per node and starts the server threads.
+  Status Start() override;
+
+  Status Post(NodeId src, NodeId dst, RpcMethod method, Slice payload) override;
+  Status Call(NodeId src, NodeId dst, RpcMethod method, Slice payload,
+              std::vector<uint8_t>* response) override;
+
+  /// Port the given node listens on (0 before Start()).
+  uint16_t port(NodeId node) const { return ports_[node]; }
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+ private:
+  Status SendFrame(NodeId src, NodeId dst, RpcMethod method, Slice payload,
+                   bool is_call, std::vector<uint8_t>* response);
+  Status ConnectTo(NodeId src, NodeId dst, int* fd);
+  void ServeNode(NodeId node);
+  void ServeConnection(NodeId node, int fd);
+  void Shutdown();
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<int> listen_fds_;
+  std::vector<uint16_t> ports_;
+  std::vector<std::thread> server_threads_;
+  // conn_fds_[src * num_nodes + dst]: client connection, -1 when unopened.
+  std::vector<int> conn_fds_;
+  std::mutex dispatch_mutex_;
+  std::mutex connect_mutex_;
+};
+
+}  // namespace hybridgraph

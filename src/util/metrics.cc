@@ -1,0 +1,21 @@
+#include "util/metrics.h"
+
+namespace hybridgraph {
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      // Upper bound of bucket b: 2^b - 1 (bucket 0 holds only value 0).
+      return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+    }
+  }
+  return max_;
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,97 @@
+// Lightweight counters and histograms used for per-node, per-superstep
+// accounting (I/O bytes by access class, network bytes, memory high-water).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hybridgraph {
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Tracks the maximum of a fluctuating quantity (e.g. buffer bytes).
+class HighWaterMark {
+ public:
+  void Update(uint64_t v) { max_ = std::max(max_, v); }
+  uint64_t value() const { return max_; }
+  void Reset() { max_ = 0; }
+
+ private:
+  uint64_t max_ = 0;
+};
+
+/// \brief Simple power-of-two bucketed histogram for latency/size samples.
+class Histogram {
+ public:
+  Histogram() : buckets_(kNumBuckets, 0) {}
+
+  void Record(uint64_t value) {
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+    ++buckets_[BucketFor(value)];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+
+  /// Approximate quantile from bucket boundaries (upper bound of the bucket).
+  uint64_t ValueAtQuantile(double q) const;
+
+  void Reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = sum_ = max_ = 0;
+    min_ = 0;
+  }
+
+ private:
+  static constexpr int kNumBuckets = 64;
+
+  static int BucketFor(uint64_t v) {
+    if (v == 0) return 0;
+    int b = 64 - __builtin_clzll(v);
+    return b >= kNumBuckets ? kNumBuckets - 1 : b;
+  }
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// \brief Named counter registry; cheap snapshot for reporting.
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const std::string& name) { return &counters_[name]; }
+  std::map<std::string, uint64_t> Snapshot() const {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [k, v] : counters_) out[k] = v.value();
+    return out;
+  }
+  void ResetAll() {
+    for (auto& [k, v] : counters_) v.Reset();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace hybridgraph

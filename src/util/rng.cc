@@ -1,0 +1,28 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hybridgraph {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  HG_CHECK_GT(n, 0u) << "ZipfSampler needs at least one rank";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_[i - 1] = acc;
+  }
+  const double total = acc;
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against FP rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace hybridgraph

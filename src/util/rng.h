@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generation: SplitMix64 core, uniform helpers,
+// and a Zipf sampler used by the power-law graph generators.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace hybridgraph {
+
+/// \brief SplitMix64 PRNG: tiny state, high quality, fully deterministic per
+/// seed — every generator and workload in the repo is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Samples ranks 1..n from a Zipf(s) distribution via inverse CDF over
+/// a precomputed table (exact, O(log n) per sample).
+///
+/// Used to draw per-vertex out-degrees and skewed edge targets so that the
+/// synthetic dataset models reproduce the fragment-count behaviour the paper
+/// attributes to power-law graphs (e.g. its twitter dataset).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks.
+  /// \param s skew exponent (s=0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Returns a rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,143 @@
+// Status and Result<T>: exception-free error handling for hot paths,
+// in the style of Arrow / RocksDB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hybridgraph {
+
+/// Error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIoError = 5,
+  kCorruption = 6,
+  kResourceExhausted = 7,
+  kFailedPrecondition = 8,
+  kUnimplemented = 9,
+  kInternal = 10,
+  kNetworkError = 11,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Error statuses
+/// carry a code and a message. All library entry points that can fail return
+/// Status or Result<T>; exceptions are never thrown on hot paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result is a
+/// programming error and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Moves the value out; valid only if ok().
+  T ValueOrDie() && { return std::move(*value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hybridgraph
+
+/// Propagates an error Status from an expression returning Status.
+#define HG_RETURN_IF_ERROR(expr)                        \
+  do {                                                  \
+    ::hybridgraph::Status _hg_st = (expr);              \
+    if (!_hg_st.ok()) return _hg_st;                    \
+  } while (0)
+
+#define HG_CONCAT_IMPL(a, b) a##b
+#define HG_CONCAT(a, b) HG_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on error returns the Status from the enclosing function.
+#define HG_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto HG_CONCAT(_hg_res_, __LINE__) = (rexpr);                    \
+  if (!HG_CONCAT(_hg_res_, __LINE__).ok())                         \
+    return HG_CONCAT(_hg_res_, __LINE__).status();                 \
+  lhs = std::move(HG_CONCAT(_hg_res_, __LINE__)).ValueOrDie()

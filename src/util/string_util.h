@@ -1,0 +1,25 @@
+// Small string/formatting helpers used by benches and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hybridgraph {
+
+/// Formats a byte count as a human-readable string ("1.25 GB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats seconds with adaptive precision ("12.3s", "380ms").
+std::string HumanSeconds(double seconds);
+
+/// Splits on a single character delimiter; keeps empty fields.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string TrimString(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hybridgraph

@@ -1,0 +1,182 @@
+// Aggregator machinery: barrier combination, visibility at t+1, aggregate
+// halting (delta-PageRank) and the multi-phase HITS normalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/hits.h"
+#include "algos/pagerank.h"
+#include "algos/pagerank_delta.h"
+#include "core/engine.h"
+#include "graph/generator.h"
+#include "tests/core/reference_impls.h"
+
+namespace hybridgraph {
+namespace {
+
+EdgeListGraph TestGraph(uint64_t seed = 3) {
+  return GeneratePowerLaw(600, 8.0, 0.8, seed);
+}
+
+JobConfig Base(EngineMode mode) {
+  JobConfig cfg;
+  cfg.mode = mode;
+  cfg.num_nodes = 4;
+  cfg.msg_buffer_per_node = 200;
+  cfg.max_supersteps = 60;
+  return cfg;
+}
+
+TEST(Aggregator, DeltaPageRankConverges) {
+  const auto g = TestGraph();
+  PageRankDeltaProgram program;
+  program.tolerance = 1e-6;
+  Engine<PageRankDeltaProgram> engine(Base(EngineMode::kBPull), program);
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.converged());
+  EXPECT_LT(engine.stats().supersteps_run, 60);
+  EXPECT_GT(engine.stats().supersteps_run, 5);
+  // Final aggregate below tolerance.
+  EXPECT_LT(engine.stats().supersteps.back().aggregate, program.tolerance);
+  // Aggregates must be monotonically shrinking after warmup.
+  const auto& steps = engine.stats().supersteps;
+  for (size_t t = 4; t < steps.size(); ++t) {
+    EXPECT_LT(steps[t].aggregate, steps[t - 2].aggregate * 1.01) << t;
+  }
+}
+
+TEST(Aggregator, DeltaPageRankMatchesPlainPageRank) {
+  const auto g = TestGraph();
+  PageRankDeltaProgram program;
+  program.tolerance = 0;  // never halts on aggregate -> runs max supersteps
+  JobConfig cfg = Base(EngineMode::kPush);
+  cfg.max_supersteps = 6;
+  Engine<PageRankDeltaProgram> engine(cfg, program);
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto got = engine.GatherValues().ValueOrDie();
+  const auto expected = ReferencePageRank(g, 6);
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << v;
+  }
+}
+
+TEST(Aggregator, SameAggregateUnderEveryMode) {
+  const auto g = TestGraph();
+  PageRankDeltaProgram program;
+  program.tolerance = 1e-6;
+  std::vector<double> reference;
+  for (EngineMode mode : {EngineMode::kPush, EngineMode::kPushM,
+                          EngineMode::kBPull, EngineMode::kHybrid}) {
+    Engine<PageRankDeltaProgram> engine(Base(mode), program);
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    std::vector<double> series;
+    for (const auto& s : engine.stats().supersteps) {
+      series.push_back(s.aggregate);
+    }
+    if (reference.empty()) {
+      reference = series;
+    } else {
+      ASSERT_EQ(series.size(), reference.size()) << EngineModeName(mode);
+      for (size_t t = 0; t < series.size(); ++t) {
+        EXPECT_NEAR(series[t], reference[t], 1e-12)
+            << EngineModeName(mode) << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Aggregator, ControlTrafficMetered) {
+  const auto g = TestGraph();
+  PageRankDeltaProgram with_agg;
+  with_agg.tolerance = 0;
+  PageRankProgram without_agg;
+  JobConfig cfg = Base(EngineMode::kBPull);
+  cfg.max_supersteps = 5;
+
+  Engine<PageRankDeltaProgram> a(cfg, with_agg);
+  ASSERT_TRUE(a.Load(g).ok());
+  ASSERT_TRUE(a.Run().ok());
+  Engine<PageRankProgram> b(cfg, without_agg);
+  ASSERT_TRUE(b.Load(g).ok());
+  ASSERT_TRUE(b.Run().ok());
+  // The aggregator adds (T-1) partials + (T-1) broadcasts per superstep.
+  EXPECT_GT(a.stats().TotalNetBytes(), b.stats().TotalNetBytes());
+}
+
+// ------------------------------------------------------------------- HITS
+
+/// Reference HITS power iteration with the same normalization scheme.
+void ReferenceHits(const EdgeListGraph& g, int supersteps,
+                   std::vector<double>* hub, std::vector<double>* auth) {
+  const uint64_t n = g.num_vertices;
+  hub->assign(n, 1.0);
+  auth->assign(n, 1.0);
+  // Superstep 0 sends hub scores (auth phase); updates land at t=1, etc.
+  for (int t = 1; t < supersteps; ++t) {
+    const bool auth_phase_prev = HitsProgram::AuthPhase(t - 1);
+    std::vector<double> sum(n, 0.0);
+    double norm_sq = 0;
+    if (auth_phase_prev) {
+      for (const auto& e : g.edges) sum[e.dst] += (*hub)[e.src];
+      for (double h : *hub) norm_sq += h * h;
+    } else {
+      for (const auto& e : g.edges) sum[e.src] += (*auth)[e.dst];
+      for (double a : *auth) norm_sq += a * a;
+    }
+    const double norm = norm_sq > 0 ? std::sqrt(norm_sq) : 1.0;
+    if (auth_phase_prev) {
+      for (uint64_t v = 0; v < n; ++v) (*auth)[v] = sum[v] / norm;
+    } else {
+      for (uint64_t v = 0; v < n; ++v) (*hub)[v] = sum[v] / norm;
+    }
+  }
+}
+
+TEST(Hits, MatchesReferencePowerIteration) {
+  const auto g = TestGraph(9);
+  const auto bidir = MakeBidirectional(g);
+  EXPECT_EQ(bidir.num_edges(), 2 * g.num_edges());
+  constexpr int kSteps = 7;
+  std::vector<double> ref_hub, ref_auth;
+  ReferenceHits(g, kSteps, &ref_hub, &ref_auth);
+
+  for (EngineMode mode : {EngineMode::kPush, EngineMode::kBPull}) {
+    JobConfig cfg = Base(mode);
+    cfg.max_supersteps = kSteps;
+    Engine<HitsProgram> engine(cfg, HitsProgram{});
+    ASSERT_TRUE(engine.Load(bidir).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    const auto got = engine.GatherValues().ValueOrDie();
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_NEAR(got[v].hub, ref_hub[v], 1e-9)
+          << EngineModeName(mode) << " hub v=" << v;
+      ASSERT_NEAR(got[v].auth, ref_auth[v], 1e-9)
+          << EngineModeName(mode) << " auth v=" << v;
+    }
+  }
+}
+
+TEST(Hits, MultiPhaseIsHybridBoundary) {
+  // Appendix G: Multi-Phase-Style algorithms flip the workload every
+  // superstep, so hybrid cannot accumulate switching gains — it must not be
+  // significantly worse than the best fixed mode, but no big win either.
+  const auto bidir = MakeBidirectional(TestGraph(9));
+  auto modeled = [&](EngineMode mode) {
+    JobConfig cfg = Base(mode);
+    cfg.max_supersteps = 10;
+    Engine<HitsProgram> engine(cfg, HitsProgram{});
+    EXPECT_TRUE(engine.Load(bidir).ok());
+    EXPECT_TRUE(engine.Run().ok());
+    return engine.stats().modeled_seconds;
+  };
+  const double bpull = modeled(EngineMode::kBPull);
+  const double hybrid = modeled(EngineMode::kHybrid);
+  EXPECT_LT(hybrid, bpull * 1.5);
+  EXPECT_GT(hybrid, bpull * 0.5);
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,76 @@
+// Cross-configuration equivalence sweep: SSSP results must match the
+// Bellman-Ford reference for every combination of engine mode, buffer size,
+// Vblock count and cluster size (TEST_P grid).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algos/sssp.h"
+#include "core/engine.h"
+#include "graph/generator.h"
+#include "tests/core/reference_impls.h"
+
+namespace hybridgraph {
+namespace {
+
+const EdgeListGraph& SweepGraph() {
+  static const EdgeListGraph g = GeneratePowerLaw(700, 7.0, 0.85, 123);
+  return g;
+}
+
+const std::vector<float>& ExpectedDistances() {
+  static const std::vector<float> d = ReferenceSssp(SweepGraph(), 11);
+  return d;
+}
+
+using SweepParam = std::tuple<EngineMode, uint64_t /*buffer*/,
+                              uint32_t /*vblocks*/, uint32_t /*nodes*/>;
+
+class EngineSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EngineSweepTest, SsspMatchesReference) {
+  const auto [mode, buffer, vblocks, nodes] = GetParam();
+  JobConfig cfg;
+  cfg.mode = mode;
+  cfg.num_nodes = nodes;
+  cfg.msg_buffer_per_node = buffer;
+  cfg.vblocks_per_node = vblocks;
+  cfg.max_supersteps = 200;
+  SsspProgram program;
+  program.source = 11;
+  Engine<SsspProgram> engine(cfg, program);
+  ASSERT_TRUE(engine.Load(SweepGraph()).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.converged());
+  const auto got = engine.GatherValues().ValueOrDie();
+  const auto& expected = ExpectedDistances();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_FLOAT_EQ(got[v], expected[v]) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineSweepTest,
+    ::testing::Combine(
+        ::testing::Values(EngineMode::kPush, EngineMode::kBPull,
+                          EngineMode::kHybrid),
+        ::testing::Values(uint64_t{1}, uint64_t{64}, UINT64_MAX),
+        ::testing::Values(0u /*Eq.5 auto*/, 1u, 12u),
+        ::testing::Values(1u, 5u)),
+    [](const auto& info) {
+      // (No structured bindings here: their commas would split the macro's
+      // arguments.)
+      std::string name = EngineModeName(std::get<0>(info.param));
+      const uint64_t buffer = std::get<1>(info.param);
+      name += buffer == UINT64_MAX ? "_mem" : "_b" + std::to_string(buffer);
+      name += "_v" + std::to_string(std::get<2>(info.param)) + "_n" +
+              std::to_string(std::get<3>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hybridgraph

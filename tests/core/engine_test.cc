@@ -1,0 +1,376 @@
+// Engine correctness: every mode must compute reference-identical results
+// for all algorithms, across memory regimes (spilling vs not), Vblock
+// shapes, and storage backends.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "algos/bfs.h"
+#include "algos/lpa.h"
+#include "algos/pagerank.h"
+#include "algos/sa.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+#include "graph/generator.h"
+#include "tests/core/reference_impls.h"
+
+namespace hybridgraph {
+namespace {
+
+EdgeListGraph TestGraph(uint64_t seed = 11) {
+  return GeneratePowerLaw(800, 7.0, 0.8, seed);
+}
+
+template <typename P>
+Engine<P> MakeEngine(EngineMode mode, P program, const JobConfig& base) {
+  JobConfig cfg = base;
+  cfg.mode = mode;
+  return Engine<P>(cfg, program);
+}
+
+JobConfig BaseConfig() {
+  JobConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.msg_buffer_per_node = 120;  // forces spilling under push
+  cfg.max_supersteps = 50;
+  return cfg;
+}
+
+// ------------------------------------------------------- reference checks
+
+TEST(EngineCorrectness, PageRankMatchesReference) {
+  const auto g = TestGraph();
+  constexpr int kSteps = 6;
+  const auto expected = ReferencePageRank(g, kSteps);
+  for (EngineMode mode : {EngineMode::kPush, EngineMode::kPushM,
+                          EngineMode::kBPull, EngineMode::kHybrid}) {
+    JobConfig cfg = BaseConfig();
+    cfg.mode = mode;
+    cfg.max_supersteps = kSteps;
+    Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    const auto got = engine.GatherValues().ValueOrDie();
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_NEAR(got[v], expected[v], 1e-12)
+          << "mode=" << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(EngineCorrectness, SsspMatchesBellmanFord) {
+  const auto g = TestGraph();
+  SsspProgram program;
+  program.source = 17;
+  const auto expected = ReferenceSssp(g, program.source);
+  for (EngineMode mode : {EngineMode::kPush, EngineMode::kPushM,
+                          EngineMode::kBPull, EngineMode::kHybrid}) {
+    JobConfig cfg = BaseConfig();
+    cfg.mode = mode;
+    cfg.max_supersteps = 200;
+    Engine<SsspProgram> engine(cfg, program);
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    EXPECT_TRUE(engine.converged()) << EngineModeName(mode);
+    const auto got = engine.GatherValues().ValueOrDie();
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_FLOAT_EQ(got[v], expected[v])
+          << "mode=" << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(EngineCorrectness, BfsMatchesReference) {
+  const auto g = TestGraph(21);
+  BfsProgram program;
+  program.source = 5;
+  const auto expected = ReferenceBfs(g, program.source);
+  for (EngineMode mode :
+       {EngineMode::kPush, EngineMode::kBPull, EngineMode::kHybrid}) {
+    JobConfig cfg = BaseConfig();
+    cfg.mode = mode;
+    cfg.max_supersteps = 100;
+    Engine<BfsProgram> engine(cfg, program);
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    const auto got = engine.GatherValues().ValueOrDie();
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_EQ(got[v], expected[v])
+          << "mode=" << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(EngineCorrectness, WccMatchesMinLabelFixpoint) {
+  const auto g = TestGraph(33);
+  const auto expected = ReferenceMinLabel(g);
+  for (EngineMode mode :
+       {EngineMode::kPush, EngineMode::kBPull, EngineMode::kHybrid}) {
+    JobConfig cfg = BaseConfig();
+    cfg.mode = mode;
+    cfg.max_supersteps = 300;
+    Engine<WccProgram> engine(cfg, WccProgram{});
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    EXPECT_TRUE(engine.converged());
+    const auto got = engine.GatherValues().ValueOrDie();
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_EQ(got[v], expected[v]) << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(EngineCorrectness, LpaModesAgree) {
+  // LPA has no simple closed-form reference; all engines must agree since
+  // the program is deterministic under identical BSP semantics.
+  const auto g = TestGraph(44);
+  std::vector<uint32_t> reference;
+  for (EngineMode mode :
+       {EngineMode::kPush, EngineMode::kBPull, EngineMode::kHybrid}) {
+    JobConfig cfg = BaseConfig();
+    cfg.mode = mode;
+    cfg.max_supersteps = 5;
+    Engine<LpaProgram> engine(cfg, LpaProgram{});
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    const auto got = engine.GatherValues().ValueOrDie();
+    if (reference.empty()) {
+      reference = got;
+      // Labels must actually propagate.
+      uint64_t changed = 0;
+      for (uint32_t v = 0; v < got.size(); ++v) changed += got[v] != v;
+      EXPECT_GT(changed, got.size() / 4);
+    } else {
+      EXPECT_EQ(got, reference) << EngineModeName(mode);
+    }
+  }
+}
+
+TEST(EngineCorrectness, SaModesAgree) {
+  const auto g = TestGraph(55);
+  SaProgram program;
+  program.source_stride = 40;
+  std::vector<SaProgram::Value> reference;
+  for (EngineMode mode :
+       {EngineMode::kPush, EngineMode::kBPull, EngineMode::kHybrid}) {
+    JobConfig cfg = BaseConfig();
+    cfg.mode = mode;
+    cfg.max_supersteps = 30;
+    Engine<SaProgram> engine(cfg, program);
+    ASSERT_TRUE(engine.Load(g).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    const auto got = engine.GatherValues().ValueOrDie();
+    if (reference.empty()) {
+      reference = got;
+      uint64_t adopters = 0;
+      for (const auto& v : got) adopters += v.adopted != 0;
+      EXPECT_GT(adopters, g.num_vertices / 40);  // ads spread beyond sources
+    } else {
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t v = 0; v < got.size(); ++v) {
+        ASSERT_EQ(got[v].adopted, reference[v].adopted)
+            << EngineModeName(mode) << " v=" << v;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ regime robustness
+
+class BufferSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferSweepTest, PushCorrectUnderAnyBufferSize) {
+  const auto g = TestGraph(66);
+  constexpr int kSteps = 4;
+  const auto expected = ReferencePageRank(g, kSteps);
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kPush;
+  cfg.msg_buffer_per_node = GetParam();
+  cfg.max_supersteps = kSteps;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto got = engine.GatherValues().ValueOrDie();
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << v;
+  }
+  // Spilling must actually happen iff the buffer is small.
+  uint64_t spilled = 0;
+  for (const auto& s : engine.stats().supersteps) spilled += s.messages_spilled;
+  if (GetParam() <= 100) {
+    EXPECT_GT(spilled, 0u);
+  } else if (GetParam() == UINT64_MAX) {
+    EXPECT_EQ(spilled, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BufferSweepTest,
+                         ::testing::Values(1, 10, 100, 5000, UINT64_MAX));
+
+class VblockSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(VblockSweepTest, BPullCorrectUnderAnyVblockCount) {
+  const auto g = TestGraph(77);
+  constexpr int kSteps = 4;
+  const auto expected = ReferencePageRank(g, kSteps);
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kBPull;
+  cfg.vblocks_per_node = GetParam();
+  cfg.max_supersteps = kSteps;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.partition().num_vblocks(), GetParam() * cfg.num_nodes);
+  const auto got = engine.GatherValues().ValueOrDie();
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vblocks, VblockSweepTest,
+                         ::testing::Values(1, 2, 7, 20, 50));
+
+TEST(Engine, FileStorageBackendMatchesMem) {
+  const auto g = TestGraph(88);
+  constexpr int kSteps = 4;
+  const auto expected = ReferencePageRank(g, kSteps);
+  const std::string dir = ::testing::TempDir() + "/hg_engine_file_test";
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kHybrid;
+  cfg.max_supersteps = kSteps;
+  cfg.use_file_storage = true;
+  cfg.storage_dir = dir;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto got = engine.GatherValues().ValueOrDie();
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << v;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Engine, SingleNodeCluster) {
+  const auto g = TestGraph(99);
+  SsspProgram program;
+  program.source = 0;
+  const auto expected = ReferenceSssp(g, 0);
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kBPull;
+  cfg.num_nodes = 1;
+  cfg.max_supersteps = 200;
+  Engine<SsspProgram> engine(cfg, program);
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto got = engine.GatherValues().ValueOrDie();
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_FLOAT_EQ(got[v], expected[v]) << v;
+  }
+}
+
+TEST(Engine, LoadRejectsBadInputs) {
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kPush;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  EdgeListGraph bad;
+  bad.num_vertices = 10;
+  bad.edges = {{0, 99, 1.0f}};
+  EXPECT_FALSE(engine.Load(bad).ok());
+
+  Engine<PageRankProgram> engine2(cfg, PageRankProgram{});
+  EdgeListGraph tiny;
+  tiny.num_vertices = 2;  // fewer vertices than the 4 nodes
+  EXPECT_FALSE(engine2.Load(tiny).ok());
+
+  Engine<PageRankProgram> engine3(cfg, PageRankProgram{});
+  EXPECT_EQ(engine3.Run().code(), StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------- metrics sanity
+
+TEST(EngineMetrics, PushIoBreakdownPopulated) {
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kPush;
+  cfg.max_supersteps = 4;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto& steps = engine.stats().supersteps;
+  ASSERT_EQ(steps.size(), 4u);
+  // Supersteps after the first consume spilled messages and read adjacency.
+  const auto& s2 = steps[2];
+  EXPECT_GT(s2.io.vt_bytes, 0u);
+  EXPECT_GT(s2.io.adj_edge_bytes, 0u);
+  EXPECT_GT(s2.io.msg_spill_write, 0u);
+  EXPECT_GT(s2.io.msg_spill_read, 0u);
+  EXPECT_EQ(s2.io.eblock_edge_bytes, 0u);
+  EXPECT_EQ(s2.io.vrr_bytes, 0u);
+  EXPECT_GT(s2.net_bytes, 0u);
+  EXPECT_GT(s2.superstep_seconds, 0.0);
+  EXPECT_EQ(s2.mode, EngineMode::kPush);
+  // Every vertex responds every superstep for PageRank.
+  EXPECT_EQ(s2.responding_vertices, g.num_vertices);
+  EXPECT_EQ(s2.messages_produced, g.num_edges());
+}
+
+TEST(EngineMetrics, BPullIoBreakdownPopulated) {
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kBPull;
+  cfg.max_supersteps = 4;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto& s2 = engine.stats().supersteps[2];
+  EXPECT_GT(s2.io.vt_bytes, 0u);
+  EXPECT_GT(s2.io.eblock_edge_bytes, 0u);
+  EXPECT_GT(s2.io.fragment_aux_bytes, 0u);
+  EXPECT_GT(s2.io.vrr_bytes, 0u);
+  EXPECT_EQ(s2.io.msg_spill_write, 0u);  // b-pull never spills messages
+  EXPECT_EQ(s2.io.msg_spill_read, 0u);
+  EXPECT_EQ(s2.io.adj_edge_bytes, 0u);
+  EXPECT_GT(s2.messages_combined, 0u);  // combiner active
+  EXPECT_EQ(s2.mode, EngineMode::kBPull);
+}
+
+TEST(EngineMetrics, MemoryResidentZeroIoTime) {
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kPush;
+  cfg.memory_resident = true;
+  cfg.msg_buffer_per_node = UINT64_MAX;
+  cfg.max_supersteps = 4;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  for (const auto& s : engine.stats().supersteps) {
+    EXPECT_EQ(s.io_seconds, 0.0);
+    EXPECT_EQ(s.messages_spilled, 0u);
+  }
+}
+
+TEST(EngineMetrics, LoadMetricsAndTheorem2Bound) {
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig();
+  cfg.mode = EngineMode::kHybrid;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  const LoadMetrics& lm = engine.stats().load;
+  EXPECT_GT(lm.bytes_written, 0u);
+  EXPECT_GT(lm.adj_bytes, 0u);
+  EXPECT_GT(lm.veblock_bytes, 0u);
+  EXPECT_GT(lm.vblock_bytes, 0u);
+  EXPECT_GT(lm.total_fragments, 0u);
+  EXPECT_LE(lm.total_fragments, g.num_edges());
+  // B_perp = max(0, |E|/2 - f).
+  const uint64_t half = g.num_edges() / 2;
+  EXPECT_EQ(lm.b_lower_bound,
+            half > lm.total_fragments ? half - lm.total_fragments : 0);
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,95 @@
+#include "core/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(LruCache, GetMissThenHit) {
+  LruCache<int, int> cache(2);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, 10, false);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  std::vector<int> evicted;
+  LruCache<int, int> cache(2, [&](const int& k, const int&, bool) {
+    evicted.push_back(k);
+  });
+  cache.Put(1, 10, false);
+  cache.Put(2, 20, false);
+  (void)cache.Get(1);       // 2 becomes LRU
+  cache.Put(3, 30, false);  // evicts 2
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(LruCache, DirtyFlagReachesEviction) {
+  std::vector<std::pair<int, bool>> evicted;
+  LruCache<int, int> cache(1, [&](const int& k, const int&, bool dirty) {
+    evicted.emplace_back(k, dirty);
+  });
+  cache.Put(1, 10, true);
+  cache.Put(2, 20, false);  // evicts dirty 1
+  cache.Put(3, 30, false);  // evicts clean 2
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_TRUE(evicted[0].second);
+  EXPECT_FALSE(evicted[1].second);
+}
+
+TEST(LruCache, OverwriteKeepsDirty) {
+  std::vector<bool> dirty_evictions;
+  LruCache<int, int> cache(1, [&](const int&, const int&, bool dirty) {
+    dirty_evictions.push_back(dirty);
+  });
+  cache.Put(1, 10, true);
+  cache.Put(1, 11, false);  // overwrite must not clear dirty
+  EXPECT_EQ(*cache.Get(1), 11);
+  cache.Flush();
+  ASSERT_EQ(dirty_evictions.size(), 1u);
+  EXPECT_TRUE(dirty_evictions[0]);
+}
+
+TEST(LruCache, MarkDirty) {
+  std::vector<bool> dirty_evictions;
+  LruCache<int, int> cache(1, [&](const int&, const int&, bool dirty) {
+    dirty_evictions.push_back(dirty);
+  });
+  cache.Put(1, 10, false);
+  cache.MarkDirty(1);
+  cache.MarkDirty(42);  // absent: no-op
+  cache.Flush();
+  ASSERT_EQ(dirty_evictions.size(), 1u);
+  EXPECT_TRUE(dirty_evictions[0]);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, ZeroCapacityWritesThrough) {
+  std::vector<int> evicted;
+  LruCache<int, int> cache(0, [&](const int& k, const int&, bool) {
+    evicted.push_back(k);
+  });
+  cache.Put(1, 10, true);
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCache, HitMissCounters) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1, false);
+  (void)cache.Get(1);
+  (void)cache.Get(1);
+  if (cache.Get(2) == nullptr) cache.RecordMiss();
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace hybridgraph

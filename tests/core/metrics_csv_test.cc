@@ -1,0 +1,82 @@
+#include "core/metrics_csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "algos/pagerank.h"
+#include "core/engine.h"
+#include "graph/generator.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+namespace {
+
+JobStats RunSmallJob() {
+  const auto g = GeneratePowerLaw(300, 6.0, 0.8, 8);
+  JobConfig cfg;
+  cfg.mode = EngineMode::kHybrid;
+  cfg.num_nodes = 3;
+  cfg.msg_buffer_per_node = 100;
+  cfg.max_supersteps = 4;
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  EXPECT_TRUE(engine.Load(g).ok());
+  EXPECT_TRUE(engine.Run().ok());
+  return engine.stats();
+}
+
+TEST(MetricsCsv, HeaderAndRowShape) {
+  const JobStats stats = RunSmallJob();
+  const std::string csv = SuperstepMetricsCsv(stats);
+  const auto lines = SplitString(TrimString(csv), '\n');
+  ASSERT_EQ(lines.size(), stats.supersteps.size() + 1);
+
+  const auto header = SplitString(lines[0], ',');
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto row = SplitString(lines[i], ',');
+    ASSERT_EQ(row.size(), header.size()) << "row " << i;
+  }
+  // Spot fields.
+  EXPECT_EQ(header[0], "superstep");
+  EXPECT_EQ(header[1], "mode");
+  const auto row1 = SplitString(lines[1], ',');
+  EXPECT_EQ(row1[0], "0");
+  EXPECT_TRUE(row1[1] == "push" || row1[1] == "b-pull");
+}
+
+TEST(MetricsCsv, ValuesMatchStats) {
+  const JobStats stats = RunSmallJob();
+  const std::string csv = SuperstepMetricsCsv(stats);
+  const auto lines = SplitString(TrimString(csv), '\n');
+  const auto header = SplitString(lines[0], ',');
+  size_t msgs_col = 0, io_col = 0;
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == "messages") msgs_col = c;
+    if (header[c] == "io_total") io_col = c;
+  }
+  ASSERT_GT(msgs_col, 0u);
+  ASSERT_GT(io_col, 0u);
+  for (size_t i = 0; i < stats.supersteps.size(); ++i) {
+    const auto row = SplitString(lines[i + 1], ',');
+    EXPECT_EQ(std::stoull(row[msgs_col]),
+              stats.supersteps[i].messages_produced);
+    EXPECT_EQ(std::stoull(row[io_col]), stats.supersteps[i].io.Total());
+  }
+}
+
+TEST(MetricsCsv, WritesFile) {
+  const JobStats stats = RunSmallJob();
+  const std::string path = ::testing::TempDir() + "/hg_metrics_test.csv";
+  ASSERT_TRUE(WriteSuperstepCsv(stats, path).ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first.rfind("superstep,", 0), 0u);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(WriteSuperstepCsv(stats, "/nonexistent-dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,138 @@
+// Checkpoint / restore and fault-tolerant recovery.
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "core/recovery.h"
+#include "graph/generator.h"
+
+namespace hybridgraph {
+namespace {
+
+EdgeListGraph TestGraph(uint64_t seed = 4) {
+  return GeneratePowerLaw(600, 8.0, 0.8, seed);
+}
+
+JobConfig Base(EngineMode mode) {
+  JobConfig cfg;
+  cfg.mode = mode;
+  cfg.num_nodes = 4;
+  cfg.msg_buffer_per_node = 150;  // exercises the spilled-inbox path too
+  cfg.max_supersteps = 8;
+  return cfg;
+}
+
+template <typename P>
+std::vector<typename P::Value> FaultFreeRun(P program, JobConfig cfg,
+                                            const EdgeListGraph& g) {
+  Engine<P> engine(cfg, program);
+  EXPECT_TRUE(engine.Load(g).ok());
+  EXPECT_TRUE(engine.Run().ok());
+  return engine.GatherValues().ValueOrDie();
+}
+
+TEST(Checkpoint, MidRunRoundTripResumesIdentically) {
+  const auto g = TestGraph();
+  const JobConfig cfg = Base(EngineMode::kPush);
+  const auto expected = FaultFreeRun(PageRankProgram{}, cfg, g);
+
+  // Run 3 supersteps, checkpoint, resume in a brand-new engine.
+  Engine<PageRankProgram> first(cfg, PageRankProgram{});
+  ASSERT_TRUE(first.Load(g).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(first.RunSuperstep().ok());
+  Buffer image;
+  ASSERT_TRUE(first.WriteCheckpoint(&image).ok());
+
+  Engine<PageRankProgram> second(cfg, PageRankProgram{});
+  ASSERT_TRUE(second.Load(g).ok());
+  ASSERT_TRUE(second.RestoreCheckpoint(image.AsSlice()).ok());
+  EXPECT_EQ(second.superstep(), 3);
+  ASSERT_TRUE(second.Run().ok());
+  const auto got = second.GatherValues().ValueOrDie();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << v;
+  }
+}
+
+TEST(Checkpoint, CorruptImageRejected) {
+  const auto g = TestGraph();
+  const JobConfig cfg = Base(EngineMode::kPush);
+  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.RunSuperstep().ok());
+  Buffer image;
+  ASSERT_TRUE(engine.WriteCheckpoint(&image).ok());
+
+  Engine<PageRankProgram> fresh(cfg, PageRankProgram{});
+  ASSERT_TRUE(fresh.Load(g).ok());
+  // Bad magic.
+  std::vector<uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(fresh.RestoreCheckpoint(Slice(junk)).code(),
+            StatusCode::kCorruption);
+  // Truncated image.
+  EXPECT_FALSE(
+      fresh.RestoreCheckpoint(Slice(image.data(), image.size() / 2)).ok());
+  // Restore before Load is a precondition failure.
+  Engine<PageRankProgram> unloaded(cfg, PageRankProgram{});
+  EXPECT_EQ(unloaded.RestoreCheckpoint(image.AsSlice()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class RecoveryModeTest : public ::testing::TestWithParam<EngineMode> {};
+
+TEST_P(RecoveryModeTest, CrashWithCheckpointMatchesFaultFree) {
+  const auto g = TestGraph();
+  JobConfig cfg = Base(GetParam());
+  SsspProgram program;
+  program.source = 7;
+  cfg.max_supersteps = 60;
+  const auto expected = FaultFreeRun(program, cfg, g);
+
+  CheckpointingRunner<SsspProgram> runner(cfg, program, /*checkpoint_every=*/2);
+  ASSERT_TRUE(runner.Run(g, /*crash_after=*/{5, 9}).ok());
+  EXPECT_EQ(runner.recoveries(), 2);
+  EXPECT_GT(runner.checkpoints_written(), 2);
+  EXPECT_TRUE(runner.converged());
+  const auto got = runner.GatherValues().ValueOrDie();
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_FLOAT_EQ(got[v], expected[v]) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RecoveryModeTest,
+                         ::testing::Values(EngineMode::kPush,
+                                           EngineMode::kBPull,
+                                           EngineMode::kHybrid));
+
+TEST(Recovery, RecomputeFromScratchWhenNoCheckpoints) {
+  // The paper's baseline policy: no checkpoints, recovery restarts the job.
+  const auto g = TestGraph();
+  JobConfig cfg = Base(EngineMode::kBPull);
+  const auto expected = FaultFreeRun(PageRankProgram{}, cfg, g);
+
+  CheckpointingRunner<PageRankProgram> runner(cfg, PageRankProgram{},
+                                              /*checkpoint_every=*/0);
+  ASSERT_TRUE(runner.Run(g, /*crash_after=*/{4}).ok());
+  EXPECT_EQ(runner.recoveries(), 1);
+  EXPECT_EQ(runner.checkpoints_written(), 0);
+  // 5 supersteps before the crash were wasted, then the full 8 again.
+  EXPECT_EQ(runner.supersteps_executed(), 5 + cfg.max_supersteps);
+  const auto got = runner.GatherValues().ValueOrDie();
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << v;
+  }
+}
+
+TEST(Recovery, CheckpointingRecomputesFewerSupersteps) {
+  const auto g = TestGraph();
+  JobConfig cfg = Base(EngineMode::kPush);
+  CheckpointingRunner<PageRankProgram> scratch(cfg, PageRankProgram{}, 0);
+  ASSERT_TRUE(scratch.Run(g, {6}).ok());
+  CheckpointingRunner<PageRankProgram> ckpt(cfg, PageRankProgram{}, 2);
+  ASSERT_TRUE(ckpt.Run(g, {6}).ok());
+  EXPECT_LT(ckpt.supersteps_executed(), scratch.supersteps_executed());
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,96 @@
+// Simple single-threaded reference implementations the engines are checked
+// against. They mirror the Pregel semantics of the vertex programs (e.g.
+// PageRank without dangling-mass redistribution).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace hybridgraph {
+
+/// PageRank as the Pregel program computes it: `supersteps` total supersteps,
+/// the first of which only broadcasts the initial 1/n ranks.
+inline std::vector<double> ReferencePageRank(const EdgeListGraph& g,
+                                             int supersteps,
+                                             double damping = 0.85) {
+  const uint64_t n = g.num_vertices;
+  const auto out = g.OutDegrees();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  for (int step = 1; step < supersteps; ++step) {
+    std::vector<double> sum(n, 0.0);
+    for (const auto& e : g.edges) {
+      sum[e.dst] += rank[e.src] / out[e.src];
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      rank[v] = (1.0 - damping) / static_cast<double>(n) + damping * sum[v];
+    }
+  }
+  return rank;
+}
+
+/// Bellman-Ford SSSP (float math in edge-addition order is not associative,
+/// so compare with a small tolerance).
+inline std::vector<float> ReferenceSssp(const EdgeListGraph& g,
+                                        VertexId source) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(g.num_vertices, kInf);
+  dist[source] = 0.0f;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : g.edges) {
+      if (dist[e.src] == kInf) continue;
+      const float cand = dist[e.src] + e.weight;
+      if (cand < dist[e.dst]) {
+        dist[e.dst] = cand;
+        changed = true;
+      }
+    }
+  }
+  return dist;
+}
+
+/// BFS hop counts.
+inline std::vector<uint32_t> ReferenceBfs(const EdgeListGraph& g,
+                                          VertexId source) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices);
+  for (const auto& e : g.edges) adj[e.src].push_back(e.dst);
+  std::vector<uint32_t> depth(g.num_vertices, UINT32_MAX);
+  std::queue<VertexId> q;
+  depth[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (VertexId v : adj[u]) {
+      if (depth[v] == UINT32_MAX) {
+        depth[v] = depth[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return depth;
+}
+
+/// Min-label flooding over directed edges (the WccProgram semantics).
+inline std::vector<uint32_t> ReferenceMinLabel(const EdgeListGraph& g) {
+  std::vector<uint32_t> label(g.num_vertices);
+  for (uint32_t v = 0; v < g.num_vertices; ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : g.edges) {
+      if (label[e.src] < label[e.dst]) {
+        label[e.dst] = label[e.src];
+        changed = true;
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,99 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hybridgraph {
+namespace {
+
+TEST(GenerateUniform, SizeAndValidity) {
+  const auto g = GenerateUniform(1000, 5000, 1);
+  EXPECT_EQ(g.num_vertices, 1000u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  EXPECT_TRUE(g.Validate().ok());
+  for (const auto& e : g.edges) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(GeneratePowerLaw, MeanDegreeCalibrated) {
+  const auto g = GeneratePowerLaw(5000, 12.0, 0.8, 2);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_NEAR(g.AverageDegree(), 12.0, 1.5);
+}
+
+TEST(GeneratePowerLaw, SkewProducesHubs) {
+  const auto skewed = GeneratePowerLaw(5000, 10.0, 1.1, 3, /*locality=*/0.0);
+  const auto flat = GeneratePowerLaw(5000, 10.0, 0.2, 3, /*locality=*/0.0);
+  EXPECT_GT(skewed.MaxOutDegree(), 2 * flat.MaxOutDegree());
+}
+
+TEST(GeneratePowerLaw, LocalityKeepsTargetsNearby) {
+  const uint64_t n = 10000;
+  const auto local = GeneratePowerLaw(n, 10.0, 0.7, 4, /*locality=*/0.9);
+  const auto global = GeneratePowerLaw(n, 10.0, 0.7, 4, /*locality=*/0.0);
+  auto near_fraction = [n](const EdgeListGraph& g) {
+    const uint64_t window = std::max<uint64_t>(8, n / 256) + 1;
+    uint64_t near = 0;
+    for (const auto& e : g.edges) {
+      const uint64_t d = e.src < e.dst ? e.dst - e.src : e.src - e.dst;
+      if (std::min(d, n - d) <= window) ++near;
+    }
+    return static_cast<double>(near) / g.num_edges();
+  };
+  EXPECT_GT(near_fraction(local), 0.7);
+  EXPECT_LT(near_fraction(global), 0.3);
+}
+
+TEST(GenerateWebGraph, BackboneGivesLargeDiameter) {
+  const auto g = GenerateWebGraph(2000, 6.0, 0.7, 0.85, 5);
+  EXPECT_TRUE(g.Validate().ok());
+  // Every vertex has the backbone edge u -> u+1.
+  std::vector<bool> backbone(2000, false);
+  for (const auto& e : g.edges) {
+    if (e.dst == (e.src + 1) % 2000) backbone[e.src] = true;
+  }
+  EXPECT_TRUE(std::all_of(backbone.begin(), backbone.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  const auto a = GeneratePowerLaw(500, 8.0, 0.7, 42);
+  const auto b = GeneratePowerLaw(500, 8.0, 0.7, 42);
+  const auto c = GeneratePowerLaw(500, 8.0, 0.7, 43);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(Datasets, CatalogComplete) {
+  const auto& all = PaperDatasets();
+  ASSERT_EQ(all.size(), 6u);
+  const char* names[] = {"livej", "wiki", "orkut", "twi", "fri", "uk"};
+  for (const char* name : names) {
+    auto r = FindDataset(name);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ(r->name, name);
+  }
+  EXPECT_EQ(FindDataset("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Datasets, Table4DegreesPreserved) {
+  // Spot-check that each scale model matches its Table 4 average degree.
+  for (const auto& spec : PaperDatasets()) {
+    if (spec.num_vertices > 50000) continue;  // keep the test fast
+    const auto g = BuildDataset(spec);
+    EXPECT_EQ(g.num_vertices, spec.num_vertices) << spec.name;
+    EXPECT_NEAR(g.AverageDegree(), spec.avg_degree, spec.avg_degree * 0.15)
+        << spec.name;
+    EXPECT_TRUE(g.Validate().ok()) << spec.name;
+  }
+}
+
+TEST(Datasets, TwiIsMostSkewed) {
+  auto twi = FindDataset("twi").ValueOrDie();
+  auto fri = FindDataset("fri").ValueOrDie();
+  EXPECT_GT(twi.skew, fri.skew);
+  EXPECT_LT(twi.locality, fri.locality);
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,105 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(RangePartition, EvenSplit) {
+  auto r = RangePartition::CreateUniform(100, 4, 1);
+  ASSERT_TRUE(r.ok());
+  const RangePartition& p = *r;
+  EXPECT_EQ(p.num_nodes(), 4u);
+  EXPECT_EQ(p.num_vblocks(), 4u);
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(p.NodeRange(n).size(), 25u);
+  }
+  EXPECT_EQ(p.NodeOf(0), 0u);
+  EXPECT_EQ(p.NodeOf(24), 0u);
+  EXPECT_EQ(p.NodeOf(25), 1u);
+  EXPECT_EQ(p.NodeOf(99), 3u);
+}
+
+TEST(RangePartition, UnevenSplitDiffersByAtMostOne) {
+  auto r = RangePartition::CreateUniform(103, 4, 3);
+  ASSERT_TRUE(r.ok());
+  const RangePartition& p = *r;
+  uint32_t mn = UINT32_MAX, mx = 0;
+  for (uint32_t n = 0; n < 4; ++n) {
+    mn = std::min(mn, p.NodeRange(n).size());
+    mx = std::max(mx, p.NodeRange(n).size());
+  }
+  EXPECT_LE(mx - mn, 1u);
+  uint32_t vmn = UINT32_MAX, vmx = 0;
+  for (uint32_t vb = 0; vb < p.num_vblocks(); ++vb) {
+    vmn = std::min(vmn, p.VblockRange(vb).size());
+    vmx = std::max(vmx, p.VblockRange(vb).size());
+  }
+  EXPECT_LE(vmx - vmn, 1u);
+}
+
+TEST(RangePartition, PerNodeVblockCounts) {
+  auto r = RangePartition::Create(100, 3, {1, 2, 4});
+  ASSERT_TRUE(r.ok());
+  const RangePartition& p = *r;
+  EXPECT_EQ(p.num_vblocks(), 7u);
+  EXPECT_EQ(p.NumVblocksOf(0), 1u);
+  EXPECT_EQ(p.NumVblocksOf(1), 2u);
+  EXPECT_EQ(p.NumVblocksOf(2), 4u);
+  EXPECT_EQ(p.FirstVblockOf(0), 0u);
+  EXPECT_EQ(p.FirstVblockOf(1), 1u);
+  EXPECT_EQ(p.FirstVblockOf(2), 3u);
+  EXPECT_EQ(p.LastVblockOf(2), 7u);
+}
+
+TEST(RangePartition, InvalidArguments) {
+  EXPECT_FALSE(RangePartition::CreateUniform(10, 0, 1).ok());
+  EXPECT_FALSE(RangePartition::Create(10, 2, {1}).ok());
+  EXPECT_FALSE(RangePartition::Create(10, 2, {1, 0}).ok());
+}
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t, uint32_t>> {
+};
+
+TEST_P(PartitionPropertyTest, LookupsConsistentWithRanges) {
+  const auto [n, nodes, vblocks] = GetParam();
+  auto r = RangePartition::CreateUniform(n, nodes, vblocks);
+  ASSERT_TRUE(r.ok());
+  const RangePartition& p = *r;
+
+  // Ranges tile the vertex space.
+  uint64_t covered = 0;
+  for (uint32_t vb = 0; vb < p.num_vblocks(); ++vb) {
+    const VertexRange range = p.VblockRange(vb);
+    covered += range.size();
+    EXPECT_EQ(p.NodeOfVblock(vb), p.NodeOf(range.begin));
+    // Vblock ranges nest inside node ranges.
+    const VertexRange nr = p.NodeRange(p.NodeOfVblock(vb));
+    EXPECT_GE(range.begin, nr.begin);
+    EXPECT_LE(range.end, nr.end);
+  }
+  EXPECT_EQ(covered, n);
+
+  // Point lookups agree with ranges for every vertex.
+  for (VertexId v = 0; v < n; ++v) {
+    const NodeId node = p.NodeOf(v);
+    EXPECT_TRUE(p.NodeRange(node).Contains(v));
+    const uint32_t vb = p.VblockOf(v);
+    EXPECT_TRUE(p.VblockRange(vb).Contains(v));
+    EXPECT_EQ(p.NodeOfVblock(vb), node);
+    EXPECT_GE(vb, p.FirstVblockOf(node));
+    EXPECT_LT(vb, p.LastVblockOf(node));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionPropertyTest,
+    ::testing::Values(std::make_tuple(uint64_t{50}, 1u, 1u),
+                      std::make_tuple(uint64_t{50}, 5u, 3u),
+                      std::make_tuple(uint64_t{97}, 7u, 4u),
+                      std::make_tuple(uint64_t{1000}, 30u, 8u),
+                      std::make_tuple(uint64_t{31}, 30u, 1u)));
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,264 @@
+// Tests for the three disk layouts: VertexValueStore (Vblocks),
+// AdjacencyStore (push-side edges), VeBlockStore (Eblocks + fragments),
+// including the Theorem-1 property (fragments grow with the Vblock count).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/adjacency_store.h"
+#include "graph/generator.h"
+#include "graph/ve_block_store.h"
+#include "graph/vertex_store.h"
+
+namespace hybridgraph {
+namespace {
+
+struct Fixture {
+  EdgeListGraph graph;
+  RangePartition partition;
+  MemStorage storage;
+  std::vector<uint32_t> out_degrees;
+  std::vector<uint32_t> in_degrees;
+  std::vector<RawEdge> local_edges;  // node 0
+  NodeId node = 0;
+
+  explicit Fixture(uint32_t vblocks_per_node = 3, uint32_t nodes = 2,
+                   uint64_t n = 100) {
+    graph = GeneratePowerLaw(n, 6.0, 0.7, 11);
+    partition =
+        RangePartition::CreateUniform(n, nodes, vblocks_per_node).ValueOrDie();
+    out_degrees = graph.OutDegrees();
+    in_degrees = graph.InDegrees();
+    for (const auto& e : graph.edges) {
+      if (partition.NodeOf(e.src) == node) local_edges.push_back(e);
+    }
+  }
+};
+
+// ------------------------------------------------------------- VertexValueStore
+
+TEST(VertexValueStore, BuildReadWriteRoundTrip) {
+  Fixture f;
+  auto store = VertexValueStore::Build(
+                   &f.storage, f.partition, f.node, sizeof(double),
+                   f.out_degrees,
+                   [](VertexId v, uint8_t* out) {
+                     const double val = v * 1.5;
+                     std::memcpy(out, &val, sizeof(val));
+                   })
+                   .ValueOrDie();
+  EXPECT_EQ(store->value_size(), sizeof(double));
+  EXPECT_EQ(store->record_size(), 8 + sizeof(double));
+
+  const uint32_t vb = f.partition.FirstVblockOf(f.node);
+  std::vector<uint8_t> values;
+  ASSERT_TRUE(store->ReadBlock(vb, &values, IoClass::kSeqRead).ok());
+  const VertexRange r = f.partition.VblockRange(vb);
+  ASSERT_EQ(values.size(), r.size() * sizeof(double));
+  double first;
+  std::memcpy(&first, values.data(), sizeof(first));
+  EXPECT_DOUBLE_EQ(first, r.begin * 1.5);
+
+  // Mutate and write back.
+  const double updated = 99.5;
+  std::memcpy(values.data(), &updated, sizeof(updated));
+  ASSERT_TRUE(store->WriteBlock(vb, values, IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> again;
+  ASSERT_TRUE(store->ReadBlock(vb, &again, IoClass::kSeqRead).ok());
+  double got;
+  std::memcpy(&got, again.data(), sizeof(got));
+  EXPECT_DOUBLE_EQ(got, 99.5);
+}
+
+TEST(VertexValueStore, RandomReadMatchesBlockRead) {
+  Fixture f;
+  auto store = VertexValueStore::Build(
+                   &f.storage, f.partition, f.node, sizeof(uint32_t),
+                   f.out_degrees,
+                   [](VertexId v, uint8_t* out) {
+                     const uint32_t val = v * 7;
+                     std::memcpy(out, &val, sizeof(val));
+                   })
+                   .ValueOrDie();
+  const VertexRange nr = f.partition.NodeRange(f.node);
+  const DiskMeter before = *f.storage.meter();
+  for (VertexId v = nr.begin; v < nr.end; v += 13) {
+    std::vector<uint8_t> value;
+    ASSERT_TRUE(store->ReadValueRandom(v, &value).ok());
+    uint32_t got;
+    std::memcpy(&got, value.data(), sizeof(got));
+    EXPECT_EQ(got, v * 7);
+  }
+  const DiskMeter delta = f.storage.meter()->DeltaSince(before);
+  EXPECT_GT(delta.ops(IoClass::kRandRead), 0u);
+}
+
+TEST(VertexValueStore, OutDegreeLookup) {
+  Fixture f;
+  auto store = VertexValueStore::Build(&f.storage, f.partition, f.node, 4,
+                                       f.out_degrees,
+                                       [](VertexId, uint8_t* out) {
+                                         std::memset(out, 0, 4);
+                                       })
+                   .ValueOrDie();
+  const VertexRange nr = f.partition.NodeRange(f.node);
+  for (VertexId v = nr.begin; v < nr.end; ++v) {
+    EXPECT_EQ(store->OutDegree(v), f.out_degrees[v]);
+  }
+}
+
+TEST(VertexValueStore, NonLocalRandomReadFails) {
+  Fixture f;
+  auto store = VertexValueStore::Build(&f.storage, f.partition, f.node, 4,
+                                       f.out_degrees,
+                                       [](VertexId, uint8_t* out) {
+                                         std::memset(out, 0, 4);
+                                       })
+                   .ValueOrDie();
+  std::vector<uint8_t> value;
+  const VertexId remote = f.partition.NodeRange(1).begin;
+  EXPECT_FALSE(store->ReadValueRandom(remote, &value).ok());
+}
+
+// --------------------------------------------------------------- AdjacencyStore
+
+TEST(AdjacencyStore, BlocksContainAllLocalEdges) {
+  Fixture f;
+  auto store =
+      AdjacencyStore::Build(&f.storage, f.partition, f.node, f.local_edges)
+          .ValueOrDie();
+  EXPECT_EQ(store->TotalEdges(), f.local_edges.size());
+
+  uint64_t seen_edges = 0;
+  for (uint32_t vb = f.partition.FirstVblockOf(f.node);
+       vb < f.partition.LastVblockOf(f.node); ++vb) {
+    std::vector<AdjacencyStore::VertexAdj> adj;
+    ASSERT_TRUE(store->ReadBlock(vb, &adj).ok());
+    const VertexRange r = f.partition.VblockRange(vb);
+    ASSERT_EQ(adj.size(), r.size());
+    for (uint32_t i = 0; i < adj.size(); ++i) {
+      EXPECT_EQ(adj[i].id, r.begin + i);
+      EXPECT_EQ(adj[i].out.size(), f.out_degrees[adj[i].id]);
+      seen_edges += adj[i].out.size();
+    }
+    EXPECT_EQ(store->BlockEdges(vb),
+              [&] {
+                uint64_t c = 0;
+                for (const auto& va : adj) c += va.out.size();
+                return c;
+              }());
+  }
+  EXPECT_EQ(seen_edges, f.local_edges.size());
+}
+
+TEST(AdjacencyStore, RejectsForeignEdges) {
+  Fixture f;
+  std::vector<RawEdge> bad = {{f.partition.NodeRange(1).begin, 0, 1.0f}};
+  EXPECT_FALSE(
+      AdjacencyStore::Build(&f.storage, f.partition, f.node, bad).ok());
+}
+
+// ---------------------------------------------------------------- VeBlockStore
+
+TEST(VeBlockStore, FragmentsCoverAllEdgesExactlyOnce) {
+  Fixture f;
+  auto store = VeBlockStore::Build(&f.storage, f.partition, f.node,
+                                   f.local_edges, f.in_degrees)
+                   .ValueOrDie();
+  uint64_t covered = 0;
+  for (uint32_t svb = f.partition.FirstVblockOf(f.node);
+       svb < f.partition.LastVblockOf(f.node); ++svb) {
+    for (uint32_t dvb = 0; dvb < f.partition.num_vblocks(); ++dvb) {
+      VeBlockStore::ScanResult scan;
+      ASSERT_TRUE(store->ScanEblock(svb, dvb, &scan).ok());
+      EXPECT_EQ(scan.fragments.empty(), !store->HasEdges(svb, dvb));
+      for (const auto& frag : scan.fragments) {
+        EXPECT_TRUE(f.partition.VblockRange(svb).Contains(frag.src));
+        EXPECT_FALSE(frag.edges.empty());
+        for (const auto& e : frag.edges) {
+          EXPECT_EQ(f.partition.VblockOf(e.dst), dvb);
+          ++covered;
+        }
+      }
+      EXPECT_EQ(store->Index(svb, dvb).num_fragments, scan.fragments.size());
+      EXPECT_EQ(store->Index(svb, dvb).edge_bytes, scan.edge_bytes);
+      EXPECT_EQ(store->Index(svb, dvb).aux_bytes, scan.aux_bytes);
+    }
+  }
+  EXPECT_EQ(covered, f.local_edges.size());
+}
+
+TEST(VeBlockStore, FragmentsClusterPerSource) {
+  Fixture f;
+  auto store = VeBlockStore::Build(&f.storage, f.partition, f.node,
+                                   f.local_edges, f.in_degrees)
+                   .ValueOrDie();
+  for (uint32_t svb = f.partition.FirstVblockOf(f.node);
+       svb < f.partition.LastVblockOf(f.node); ++svb) {
+    for (uint32_t dvb = 0; dvb < f.partition.num_vblocks(); ++dvb) {
+      VeBlockStore::ScanResult scan;
+      ASSERT_TRUE(store->ScanEblock(svb, dvb, &scan).ok());
+      // At most one fragment per source vertex in one Eblock.
+      std::set<VertexId> sources;
+      for (const auto& frag : scan.fragments) {
+        EXPECT_TRUE(sources.insert(frag.src).second);
+      }
+    }
+  }
+}
+
+TEST(VeBlockStore, MetadataDegreesMatchGraph) {
+  Fixture f;
+  auto store = VeBlockStore::Build(&f.storage, f.partition, f.node,
+                                   f.local_edges, f.in_degrees)
+                   .ValueOrDie();
+  for (uint32_t vb = f.partition.FirstVblockOf(f.node);
+       vb < f.partition.LastVblockOf(f.node); ++vb) {
+    const VblockMeta& meta = store->Meta(vb);
+    const VertexRange r = f.partition.VblockRange(vb);
+    EXPECT_EQ(meta.num_vertices, r.size());
+    uint64_t ind = 0, outd = 0;
+    for (VertexId v = r.begin; v < r.end; ++v) {
+      ind += f.in_degrees[v];
+      outd += f.out_degrees[v];
+    }
+    EXPECT_EQ(meta.in_degree, ind);
+    EXPECT_EQ(meta.out_degree, outd);
+    // Bitmap is consistent with the index.
+    for (uint32_t dvb = 0; dvb < f.partition.num_vblocks(); ++dvb) {
+      EXPECT_EQ(meta.edge_bitmap[dvb],
+                store->Index(vb, dvb).num_fragments > 0);
+    }
+  }
+}
+
+// Theorem 1: the expected number of fragments grows with the Vblock count.
+class Theorem1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1Test, FragmentsMonotoneInVblockCount) {
+  const auto graph = GeneratePowerLaw(400, 10.0, 0.8, GetParam(),
+                                      /*locality=*/0.2);
+  const auto in_degrees = graph.InDegrees();
+  uint64_t prev_fragments = 0;
+  for (uint32_t vblocks : {1u, 2u, 5u, 10u, 25u}) {
+    auto partition = RangePartition::CreateUniform(400, 2, vblocks).ValueOrDie();
+    std::vector<RawEdge> local;
+    for (const auto& e : graph.edges) {
+      if (partition.NodeOf(e.src) == 0) local.push_back(e);
+    }
+    MemStorage storage;
+    auto store =
+        VeBlockStore::Build(&storage, partition, 0, local, in_degrees)
+            .ValueOrDie();
+    EXPECT_GE(store->TotalFragments(), prev_fragments)
+        << "V per node = " << vblocks;
+    prev_fragments = store->TotalFragments();
+  }
+  // With many Vblocks there must be strictly more fragments than with one.
+  EXPECT_GT(prev_fragments, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hybridgraph

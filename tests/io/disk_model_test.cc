@@ -1,0 +1,103 @@
+#include "io/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(DiskProfile, PaperTable3Numbers) {
+  const DiskProfile hdd = DiskProfile::Hdd();
+  EXPECT_DOUBLE_EQ(hdd.qt_rand_read_mbps, 1.177);
+  EXPECT_DOUBLE_EQ(hdd.qt_rand_write_mbps, 1.182);
+  EXPECT_DOUBLE_EQ(hdd.qt_seq_read_mbps, 2.358);
+  const DiskProfile ssd = DiskProfile::Ssd();
+  EXPECT_DOUBLE_EQ(ssd.qt_rand_read_mbps, 18.177);
+  EXPECT_DOUBLE_EQ(ssd.qt_rand_write_mbps, 18.194);
+  EXPECT_DOUBLE_EQ(ssd.qt_seq_read_mbps, 18.270);
+}
+
+TEST(DiskProfile, RandomSlowerThanSequential) {
+  for (const DiskProfile& p : {DiskProfile::Hdd(), DiskProfile::Ssd()}) {
+    EXPECT_LT(p.rand_read_mbps, p.seq_read_mbps) << p.name;
+    EXPECT_LT(p.rand_write_mbps, p.seq_write_mbps) << p.name;
+    EXPECT_GT(p.per_random_op_s, 0) << p.name;
+  }
+}
+
+TEST(DiskMeter, RecordsByClass) {
+  DiskMeter m;
+  m.Record(IoClass::kSeqRead, 100);
+  m.Record(IoClass::kSeqRead, 50);
+  m.Record(IoClass::kRandWrite, 10);
+  EXPECT_EQ(m.bytes(IoClass::kSeqRead), 150u);
+  EXPECT_EQ(m.bytes(IoClass::kRandWrite), 10u);
+  EXPECT_EQ(m.ops(IoClass::kSeqRead), 2u);
+  EXPECT_EQ(m.TotalBytes(), 160u);
+  EXPECT_EQ(m.ReadBytes(), 150u);
+  EXPECT_EQ(m.WriteBytes(), 10u);
+}
+
+TEST(DiskMeter, CachedBytesSeparate) {
+  DiskMeter m;
+  m.Record(IoClass::kRandRead, 64);
+  m.RecordCached(IoClass::kRandRead, 64);
+  EXPECT_EQ(m.bytes(IoClass::kRandRead), 64u);
+  EXPECT_EQ(m.cached_bytes(IoClass::kRandRead), 64u);
+  EXPECT_EQ(m.ops(IoClass::kRandRead), 2u);
+  EXPECT_EQ(m.TotalBytes(), 128u);
+}
+
+TEST(DiskMeter, ModeledSecondsScalesWithThroughput) {
+  DiskMeter m;
+  m.Record(IoClass::kRandWrite, 1024 * 1024);  // 1 MB random write
+  const double hdd = m.ModeledSeconds(DiskProfile::Hdd());
+  const double ssd = m.ModeledSeconds(DiskProfile::Ssd());
+  EXPECT_GT(hdd, ssd);
+  // 1MB at 1.2MB/s ~ 0.83s plus one op overhead.
+  EXPECT_NEAR(hdd, 1.0 / 1.2, 0.01);
+}
+
+TEST(DiskMeter, CachedReadsAreNearlyFree) {
+  DiskMeter device, cached;
+  device.Record(IoClass::kSeqRead, 10 * 1024 * 1024);
+  cached.RecordCached(IoClass::kSeqRead, 10 * 1024 * 1024);
+  EXPECT_GT(device.ModeledSeconds(DiskProfile::Hdd()),
+            20 * cached.ModeledSeconds(DiskProfile::Hdd()));
+}
+
+TEST(DiskMeter, PerOpOverheadCharged) {
+  DiskMeter m;
+  for (int i = 0; i < 1000; ++i) m.RecordCached(IoClass::kRandRead, 16);
+  const DiskProfile hdd = DiskProfile::Hdd();
+  EXPECT_GE(m.ModeledSeconds(hdd), 1000 * hdd.per_random_op_s);
+}
+
+TEST(DiskMeter, DeltaSince) {
+  DiskMeter a;
+  a.Record(IoClass::kSeqWrite, 100);
+  DiskMeter snapshot = a;
+  a.Record(IoClass::kSeqWrite, 50);
+  a.RecordCached(IoClass::kSeqRead, 30);
+  const DiskMeter d = a.DeltaSince(snapshot);
+  EXPECT_EQ(d.bytes(IoClass::kSeqWrite), 50u);
+  EXPECT_EQ(d.cached_bytes(IoClass::kSeqRead), 30u);
+  EXPECT_EQ(d.bytes(IoClass::kSeqRead), 0u);
+}
+
+TEST(DiskMeter, Reset) {
+  DiskMeter m;
+  m.Record(IoClass::kRandRead, 99);
+  m.Reset();
+  EXPECT_EQ(m.TotalBytes(), 0u);
+  EXPECT_EQ(m.ops(IoClass::kRandRead), 0u);
+}
+
+TEST(IoClassNames, AllDistinct) {
+  EXPECT_STREQ(IoClassName(IoClass::kSeqRead), "seq_read");
+  EXPECT_STREQ(IoClassName(IoClass::kSeqWrite), "seq_write");
+  EXPECT_STREQ(IoClassName(IoClass::kRandRead), "rand_read");
+  EXPECT_STREQ(IoClassName(IoClass::kRandWrite), "rand_write");
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,140 @@
+#include "io/message_spill.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hybridgraph {
+namespace {
+
+std::vector<uint8_t> Payload(uint32_t v) {
+  std::vector<uint8_t> p(4);
+  std::memcpy(p.data(), &v, 4);
+  return p;
+}
+
+uint32_t PayloadValue(const std::vector<uint8_t>& p) {
+  uint32_t v;
+  std::memcpy(&v, p.data(), 4);
+  return v;
+}
+
+TEST(MessageSpill, SingleRunSortedByDst) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  std::vector<SpillEntry> run;
+  run.push_back({5, Payload(50)});
+  run.push_back({1, Payload(10)});
+  run.push_back({3, Payload(30)});
+  ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
+  EXPECT_EQ(spill.num_runs(), 1u);
+  EXPECT_EQ(spill.num_messages(), 3u);
+
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].dst, 1u);
+  EXPECT_EQ(out[1].dst, 3u);
+  EXPECT_EQ(out[2].dst, 5u);
+  EXPECT_EQ(PayloadValue(out[2].payload), 50u);
+}
+
+TEST(MessageSpill, MergeAcrossRunsGroupsDestinations) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{2, Payload(1)}, {4, Payload(2)}}).ok());
+  ASSERT_TRUE(spill.SpillRun({{2, Payload(3)}, {1, Payload(4)}}).ok());
+  ASSERT_TRUE(spill.SpillRun({{4, Payload(5)}}).ok());
+
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  // Non-decreasing by destination; all messages for one dst adjacent.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].dst, out[i].dst);
+  }
+  EXPECT_EQ(out[0].dst, 1u);
+  EXPECT_EQ(out[1].dst, 2u);
+  EXPECT_EQ(out[2].dst, 2u);
+}
+
+TEST(MessageSpill, EmptyRunIsNoop) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({}).ok());
+  EXPECT_EQ(spill.num_runs(), 0u);
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MessageSpill, WritesAreRandomReadsSequential) {
+  // The I/O classes are the paper's model: spills are random writes (poor
+  // destination locality), merge reads are sequential.
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}, {2, Payload(2)}}).ok());
+  EXPECT_GT(storage.meter()->bytes(IoClass::kRandWrite), 0u);
+  EXPECT_EQ(storage.meter()->bytes(IoClass::kSeqRead) +
+                storage.meter()->cached_bytes(IoClass::kSeqRead),
+            0u);
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  EXPECT_GT(storage.meter()->bytes(IoClass::kSeqRead) +
+                storage.meter()->cached_bytes(IoClass::kSeqRead),
+            0u);
+}
+
+TEST(MessageSpill, ClearResetsAndDeletesBlobs) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}}).ok());
+  EXPECT_FALSE(storage.ListKeys("t/").empty());
+  ASSERT_TRUE(spill.Clear().ok());
+  EXPECT_EQ(spill.num_runs(), 0u);
+  EXPECT_EQ(spill.num_messages(), 0u);
+  EXPECT_TRUE(storage.ListKeys("t/").empty());
+  // Reusable after clear.
+  ASSERT_TRUE(spill.SpillRun({{7, Payload(7)}}).ok());
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst, 7u);
+}
+
+class SpillFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpillFuzzTest, RandomRunsMergeSorted) {
+  Rng rng(GetParam());
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  uint64_t total = 0;
+  std::vector<uint64_t> per_dst_count(64, 0);
+  const int runs = 2 + rng.NextBounded(6);
+  for (int r = 0; r < runs; ++r) {
+    std::vector<SpillEntry> run;
+    const int n = 1 + rng.NextBounded(200);
+    for (int i = 0; i < n; ++i) {
+      const uint32_t dst = static_cast<uint32_t>(rng.NextBounded(64));
+      run.push_back({dst, Payload(dst * 1000)});
+      ++per_dst_count[dst];
+      ++total;
+    }
+    ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
+  }
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), total);
+  std::vector<uint64_t> seen(64, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i > 0) ASSERT_LE(out[i - 1].dst, out[i].dst);
+    ASSERT_EQ(PayloadValue(out[i].payload), out[i].dst * 1000);
+    ++seen[out[i].dst];
+  }
+  EXPECT_EQ(seen, per_dst_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpillFuzzTest, ::testing::Values(1, 7, 21, 99));
+
+}  // namespace
+}  // namespace hybridgraph

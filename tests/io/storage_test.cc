@@ -1,0 +1,172 @@
+// Backend-parameterized storage tests: MemStorage and FileStorage must
+// behave identically through the StorageService interface.
+#include "io/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace hybridgraph {
+namespace {
+
+enum class Backend { kMem, kFile };
+
+class StorageTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kMem) {
+      storage_ = std::make_unique<MemStorage>();
+    } else {
+      dir_ = ::testing::TempDir() + "/hg_storage_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this));
+      auto r = FileStorage::Open(dir_);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      storage_ = std::move(r).ValueOrDie();
+    }
+  }
+
+  void TearDown() override {
+    storage_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  static Slice S(const std::string& s) { return Slice(s); }
+
+  std::unique_ptr<StorageService> storage_;
+  std::string dir_;
+};
+
+TEST_P(StorageTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(storage_->Write("a/b", S("hello"), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("a/b", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "hello");
+}
+
+TEST_P(StorageTest, WriteOverwrites) {
+  ASSERT_TRUE(storage_->Write("k", S("first"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Write("k", S("2nd"), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "2nd");
+  EXPECT_EQ(storage_->SizeOf("k"), 3u);
+}
+
+TEST_P(StorageTest, AppendGrows) {
+  ASSERT_TRUE(storage_->Append("k", S("ab"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Append("k", S("cd"), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "abcd");
+}
+
+TEST_P(StorageTest, ReadMissingIsNotFound) {
+  std::vector<uint8_t> out;
+  EXPECT_EQ(storage_->Read("ghost", &out, IoClass::kSeqRead).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(StorageTest, ReadRange) {
+  ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->ReadRange("k", 3, 4, &out, IoClass::kRandRead).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "3456");
+  EXPECT_EQ(storage_->ReadRange("k", 8, 5, &out, IoClass::kRandRead).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_P(StorageTest, WriteRange) {
+  ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->WriteRange("k", 2, S("XY"), IoClass::kRandWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "01XY456789");
+  EXPECT_EQ(storage_->WriteRange("k", 9, S("ZZ"), IoClass::kRandWrite).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(storage_->WriteRange("nope", 0, S("a"), IoClass::kRandWrite).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(StorageTest, ExistsDeleteSize) {
+  EXPECT_FALSE(storage_->Exists("k"));
+  EXPECT_EQ(storage_->SizeOf("k"), 0u);
+  ASSERT_TRUE(storage_->Write("k", S("abc"), IoClass::kSeqWrite).ok());
+  EXPECT_TRUE(storage_->Exists("k"));
+  EXPECT_EQ(storage_->SizeOf("k"), 3u);
+  ASSERT_TRUE(storage_->Delete("k").ok());
+  EXPECT_FALSE(storage_->Exists("k"));
+}
+
+TEST_P(StorageTest, ListKeysByPrefix) {
+  ASSERT_TRUE(storage_->Write("x/1", S("a"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Write("x/2", S("b"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Write("y/1", S("c"), IoClass::kSeqWrite).ok());
+  auto keys = storage_->ListKeys("x/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "x/1");
+  EXPECT_EQ(keys[1], "x/2");
+}
+
+TEST_P(StorageTest, MeterCountsBytes) {
+  ASSERT_TRUE(storage_->Write("k", S("12345"), IoClass::kRandWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kRandWrite), 5u);
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 5u);
+}
+
+TEST_P(StorageTest, PageCacheMakesRereadsCached) {
+  storage_->EnablePageCache(1024 * 1024);
+  ASSERT_TRUE(storage_->Write("k", S("abcdef"), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out;
+  // The write inserted it into the cache; the read is a hit.
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(storage_->meter()->cached_bytes(IoClass::kSeqRead), 6u);
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 0u);
+}
+
+TEST_P(StorageTest, PageCacheColdReadThenWarm) {
+  ASSERT_TRUE(storage_->Write("k", S("abcdef"), IoClass::kSeqWrite).ok());
+  storage_->EnablePageCache(1024 * 1024);  // enabled after the write
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());   // cold
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());   // warm
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 6u);
+  EXPECT_EQ(storage_->meter()->cached_bytes(IoClass::kSeqRead), 6u);
+}
+
+TEST_P(StorageTest, PageCacheEvictsLru) {
+  storage_->EnablePageCache(10);  // tiny: one 6-byte blob at a time
+  ASSERT_TRUE(storage_->Write("a", S("aaaaaa"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Write("b", S("bbbbbb"), IoClass::kSeqWrite).ok());
+  // "a" was evicted by "b": reading it is a device read again.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("a", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 6u);
+}
+
+TEST_P(StorageTest, DeleteDropsFromCache) {
+  storage_->EnablePageCache(1024);
+  ASSERT_TRUE(storage_->Write("k", S("xxxx"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Delete("k").ok());
+  ASSERT_TRUE(storage_->Write("k", S("yyyy"), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "yyyy");
+}
+
+TEST_P(StorageTest, EmptyBlob) {
+  ASSERT_TRUE(storage_->Write("k", Slice(), IoClass::kSeqWrite).ok());
+  std::vector<uint8_t> out{1, 2, 3};
+  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,
+                         ::testing::Values(Backend::kMem, Backend::kFile),
+                         [](const auto& info) {
+                           return info.param == Backend::kMem ? "Mem" : "File";
+                         });
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,146 @@
+// TCP transport: the same protocol over real loopback sockets, plus a full
+// engine run on top of it.
+#include "net/tcp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "core/engine.h"
+#include "graph/generator.h"
+
+namespace hybridgraph {
+namespace {
+
+TEST(TcpTransport, StartAssignsPorts) {
+  TcpTransport t(3);
+  ASSERT_TRUE(t.Start().ok());
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_GT(t.port(n), 0);
+  }
+  EXPECT_NE(t.port(0), t.port(1));
+  // Idempotent.
+  EXPECT_TRUE(t.Start().ok());
+}
+
+TEST(TcpTransport, RequiresStart) {
+  TcpTransport t(2);
+  EXPECT_EQ(t.Post(0, 1, RpcMethod::kControl, Slice()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TcpTransport, PostDeliversPayload) {
+  TcpTransport t(2);
+  std::string got;
+  NodeId got_src = 99;
+  t.RegisterHandler(1, RpcMethod::kPushMessages,
+                    [&](NodeId src, Slice payload, Buffer*) {
+                      got = payload.ToString();
+                      got_src = src;
+                      return Status::OK();
+                    });
+  ASSERT_TRUE(t.Start().ok());
+  ASSERT_TRUE(t.Post(0, 1, RpcMethod::kPushMessages, Slice("hello", 5)).ok());
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(got_src, 0u);
+}
+
+TEST(TcpTransport, CallRoundTrip) {
+  TcpTransport t(2);
+  t.RegisterHandler(1, RpcMethod::kPullRequest,
+                    [](NodeId, Slice payload, Buffer* response) {
+                      const std::string echoed = payload.ToString() + "!";
+                      response->Append(echoed.data(), echoed.size());
+                      return Status::OK();
+                    });
+  ASSERT_TRUE(t.Start().ok());
+  std::vector<uint8_t> response;
+  for (int i = 0; i < 50; ++i) {  // exercise the persistent connection
+    ASSERT_TRUE(
+        t.Call(0, 1, RpcMethod::kPullRequest, Slice("ping", 4), &response).ok());
+    EXPECT_EQ(std::string(response.begin(), response.end()), "ping!");
+  }
+}
+
+TEST(TcpTransport, MeteringMatchesInProc) {
+  auto exercise = [](Transport& t) {
+    t.RegisterHandler(1, RpcMethod::kPullRequest,
+                      [](NodeId, Slice, Buffer* response) {
+                        response->Append("12345678", 8);
+                        return Status::OK();
+                      });
+    EXPECT_TRUE(t.Start().ok());
+    std::vector<uint8_t> response;
+    EXPECT_TRUE(
+        t.Call(0, 1, RpcMethod::kPullRequest, Slice("abc", 3), &response).ok());
+    return std::make_pair(t.meter(0)->bytes_sent, t.meter(0)->bytes_received);
+  };
+  InProcTransport inproc(2);
+  TcpTransport tcp(2);
+  EXPECT_EQ(exercise(inproc), exercise(tcp));
+}
+
+TEST(TcpTransport, LargePayload) {
+  TcpTransport t(2);
+  std::vector<uint8_t> big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  uint64_t received = 0;
+  t.RegisterHandler(1, RpcMethod::kPushMessages,
+                    [&](NodeId, Slice payload, Buffer*) {
+                      received = payload.size();
+                      for (size_t i = 0; i < payload.size(); i += 4096) {
+                        if (payload[i] != static_cast<uint8_t>(i)) {
+                          return Status::Corruption("payload mangled");
+                        }
+                      }
+                      return Status::OK();
+                    });
+  ASSERT_TRUE(t.Start().ok());
+  ASSERT_TRUE(t.Post(0, 1, RpcMethod::kPushMessages, Slice(big)).ok());
+  EXPECT_EQ(received, big.size());
+}
+
+TEST(TcpTransport, FullEngineRunMatchesInProc) {
+  const auto g = GeneratePowerLaw(400, 7.0, 0.8, 17);
+  auto run = [&](TransportKind kind, EngineMode mode) {
+    JobConfig cfg;
+    cfg.mode = mode;
+    cfg.num_nodes = 3;
+    cfg.msg_buffer_per_node = 100;
+    cfg.max_supersteps = 4;
+    cfg.transport = kind;
+    Engine<PageRankProgram> engine(cfg, PageRankProgram{});
+    EXPECT_TRUE(engine.Load(g).ok());
+    EXPECT_TRUE(engine.Run().ok());
+    return engine.GatherValues().ValueOrDie();
+  };
+  for (EngineMode mode :
+       {EngineMode::kPush, EngineMode::kBPull, EngineMode::kHybrid}) {
+    const auto inproc = run(TransportKind::kInProc, mode);
+    const auto tcp = run(TransportKind::kTcp, mode);
+    ASSERT_EQ(inproc.size(), tcp.size());
+    for (size_t v = 0; v < inproc.size(); ++v) {
+      ASSERT_NEAR(inproc[v], tcp[v], 1e-12)
+          << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(TcpTransport, SsspOverTcpConverges) {
+  const auto g = GeneratePowerLaw(400, 7.0, 0.8, 18);
+  SsspProgram program;
+  program.source = 2;
+  JobConfig cfg;
+  cfg.mode = EngineMode::kHybrid;
+  cfg.num_nodes = 3;
+  cfg.msg_buffer_per_node = 80;
+  cfg.max_supersteps = 80;
+  cfg.transport = TransportKind::kTcp;
+  Engine<SsspProgram> engine(cfg, program);
+  ASSERT_TRUE(engine.Load(g).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.converged());
+}
+
+}  // namespace
+}  // namespace hybridgraph

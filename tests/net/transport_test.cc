@@ -1,0 +1,139 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(FrameHeader, RoundTrip) {
+  FrameHeader h{3, 7, RpcMethod::kPullRequest, 123};
+  Buffer buf;
+  Encoder enc(&buf);
+  h.EncodeTo(&enc);
+  EXPECT_EQ(buf.size(), FrameHeader::kEncodedSize);
+  Decoder dec(buf.AsSlice());
+  FrameHeader out;
+  ASSERT_TRUE(FrameHeader::DecodeFrom(&dec, &out).ok());
+  EXPECT_EQ(out.src, 3u);
+  EXPECT_EQ(out.dst, 7u);
+  EXPECT_EQ(out.method, RpcMethod::kPullRequest);
+  EXPECT_EQ(out.payload_size, 123u);
+}
+
+TEST(Transport, PostInvokesHandlerWithPayload) {
+  InProcTransport t(3);
+  std::string got;
+  NodeId got_src = 99;
+  t.RegisterHandler(2, RpcMethod::kPushMessages,
+                    [&](NodeId src, Slice payload, Buffer*) {
+                      got = payload.ToString();
+                      got_src = src;
+                      return Status::OK();
+                    });
+  ASSERT_TRUE(t.Post(0, 2, RpcMethod::kPushMessages, Slice("hi", 2)).ok());
+  EXPECT_EQ(got, "hi");
+  EXPECT_EQ(got_src, 0u);
+}
+
+TEST(Transport, CallReturnsResponse) {
+  InProcTransport t(2);
+  t.RegisterHandler(1, RpcMethod::kPullRequest,
+                    [](NodeId, Slice payload, Buffer* response) {
+                      const std::string echoed = payload.ToString() + "!";
+                      response->Append(echoed.data(), echoed.size());
+                      return Status::OK();
+                    });
+  std::vector<uint8_t> response;
+  ASSERT_TRUE(t.Call(0, 1, RpcMethod::kPullRequest, Slice("ping", 4), &response).ok());
+  EXPECT_EQ(std::string(response.begin(), response.end()), "ping!");
+}
+
+TEST(Transport, MissingHandlerIsNetworkError) {
+  InProcTransport t(2);
+  EXPECT_EQ(t.Post(0, 1, RpcMethod::kControl, Slice()).code(),
+            StatusCode::kNetworkError);
+}
+
+TEST(Transport, OutOfRangeNodes) {
+  InProcTransport t(2);
+  EXPECT_EQ(t.Post(0, 5, RpcMethod::kControl, Slice()).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<uint8_t> resp;
+  EXPECT_EQ(t.Call(5, 0, RpcMethod::kControl, Slice(), &resp).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Transport, MetersBothSides) {
+  InProcTransport t(2);
+  t.RegisterHandler(1, RpcMethod::kPushMessages,
+                    [](NodeId, Slice, Buffer*) { return Status::OK(); });
+  ASSERT_TRUE(t.Post(0, 1, RpcMethod::kPushMessages, Slice("abcd", 4)).ok());
+  const uint64_t expected = FrameHeader::kEncodedSize + 4;
+  EXPECT_EQ(t.meter(0)->bytes_sent, expected);
+  EXPECT_EQ(t.meter(1)->bytes_received, expected);
+  EXPECT_EQ(t.meter(0)->frames_sent, 1u);
+  EXPECT_EQ(t.meter(1)->frames_received, 1u);
+  EXPECT_EQ(t.meter(0)->bytes_received, 0u);
+  EXPECT_EQ(t.TotalBytesSent(), expected);
+}
+
+TEST(Transport, CallMetersResponse) {
+  InProcTransport t(2);
+  t.RegisterHandler(1, RpcMethod::kPullRequest,
+                    [](NodeId, Slice, Buffer* response) {
+                      response->Append("12345678", 8);
+                      return Status::OK();
+                    });
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(t.Call(0, 1, RpcMethod::kPullRequest, Slice("x", 1), &resp).ok());
+  const uint64_t req = FrameHeader::kEncodedSize + 1;
+  const uint64_t rsp = FrameHeader::kEncodedSize + 8;
+  EXPECT_EQ(t.meter(0)->bytes_sent, req);
+  EXPECT_EQ(t.meter(0)->bytes_received, rsp);
+  EXPECT_EQ(t.meter(1)->bytes_sent, rsp);
+  EXPECT_EQ(t.meter(1)->bytes_received, req);
+}
+
+TEST(Transport, LocalTrafficUnmeteredByDefault) {
+  InProcTransport t(2);
+  t.RegisterHandler(0, RpcMethod::kPushMessages,
+                    [](NodeId, Slice, Buffer*) { return Status::OK(); });
+  ASSERT_TRUE(t.Post(0, 0, RpcMethod::kPushMessages, Slice("abcd", 4)).ok());
+  EXPECT_EQ(t.meter(0)->bytes_sent, 0u);
+  t.set_meter_local_traffic(true);
+  ASSERT_TRUE(t.Post(0, 0, RpcMethod::kPushMessages, Slice("abcd", 4)).ok());
+  EXPECT_GT(t.meter(0)->bytes_sent, 0u);
+}
+
+TEST(Transport, NetProfileSeconds) {
+  const NetProfile p = NetProfile::LocalGigabit();
+  EXPECT_DOUBLE_EQ(p.SecondsFor(0), 0.0);
+  EXPECT_NEAR(p.SecondsFor(112ull * 1024 * 1024), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(NetProfile::AmazonGigabit().mbps, 116.0);
+}
+
+TEST(NetMeter, DeltaSince) {
+  NetMeter a;
+  a.bytes_sent = 100;
+  a.frames_sent = 2;
+  NetMeter snap = a;
+  a.bytes_sent = 150;
+  a.frames_sent = 3;
+  a.bytes_received = 7;
+  const NetMeter d = a.DeltaSince(snap);
+  EXPECT_EQ(d.bytes_sent, 50u);
+  EXPECT_EQ(d.frames_sent, 1u);
+  EXPECT_EQ(d.bytes_received, 7u);
+}
+
+TEST(Transport, HandlerErrorPropagates) {
+  InProcTransport t(2);
+  t.RegisterHandler(1, RpcMethod::kControl, [](NodeId, Slice, Buffer*) {
+    return Status::Internal("boom");
+  });
+  EXPECT_EQ(t.Post(0, 1, RpcMethod::kControl, Slice()).code(),
+            StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,66 @@
+#include "util/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(Slice, BasicViews) {
+  const std::string s = "hello world";
+  Slice a(s);
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a[0], 'h');
+  EXPECT_EQ(a.ToString(), s);
+
+  Slice sub = a.SubSlice(6, 5);
+  EXPECT_EQ(sub.ToString(), "world");
+
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(Slice, Equality) {
+  const std::string a = "abc", b = "abc", c = "abd";
+  EXPECT_TRUE(Slice(a) == Slice(b));
+  EXPECT_FALSE(Slice(a) == Slice(c));
+  EXPECT_FALSE(Slice(a) == Slice(a).SubSlice(0, 2));
+  EXPECT_TRUE(Slice() == Slice());
+}
+
+TEST(Slice, FromVector) {
+  std::vector<uint8_t> v = {1, 2, 3};
+  Slice s(v);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[2], 3);
+}
+
+TEST(Buffer, AppendAndClear) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  b.Append("ab", 2);
+  b.PushBack('c');
+  b.Append(Slice("de", 2));
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.AsSlice().ToString(), "abcde");
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Buffer, TakeBytesMovesOut) {
+  Buffer b;
+  b.Append("xyz", 3);
+  std::vector<uint8_t> bytes = b.TakeBytes();
+  EXPECT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 'x');
+}
+
+TEST(Buffer, ConstructFromVector) {
+  Buffer b(std::vector<uint8_t>{9, 8, 7});
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[0], 9);
+}
+
+}  // namespace
+}  // namespace hybridgraph

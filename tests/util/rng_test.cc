@@ -1,0 +1,109 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hybridgraph {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.05);  // covers the range
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Zipf, RanksInRange) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(5);
+  uint64_t low = 0, high = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    if (r <= 10) ++low;
+    if (r > 500) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(11, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (int r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r], kSamples / 10, kSamples / 50) << "rank " << r;
+  }
+}
+
+class ZipfMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfMeanTest, EmpiricalMeanMatchesAnalytic) {
+  const double s = GetParam();
+  const uint64_t n = 200;
+  ZipfSampler zipf(n, s);
+  // Analytic mean: sum(r * r^-s) / sum(r^-s).
+  double num = 0, den = 0;
+  for (uint64_t r = 1; r <= n; ++r) {
+    num += static_cast<double>(r) * std::pow(r, -s);
+    den += std::pow(r, -s);
+  }
+  const double expected = num / den;
+
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(zipf.Sample(&rng));
+  EXPECT_NEAR(sum / kSamples, expected, expected * 0.03) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfMeanTest,
+                         ::testing::Values(0.3, 0.7, 1.0, 1.5));
+
+}  // namespace
+}  // namespace hybridgraph

@@ -1,0 +1,105 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(Status, FactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NetworkError("x").code(), StatusCode::kNetworkError);
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNetworkError), "NetworkError");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  HG_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+Status UseParsed(int x, int* out) {
+  HG_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = ParsePositive(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_EQ(UseParsed(-5, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 10);  // unchanged on error
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace hybridgraph

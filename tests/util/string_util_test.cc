@@ -1,0 +1,47 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridgraph {
+namespace {
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(5ull * 1024 * 1024), "5.00 MB");
+  EXPECT_EQ(HumanBytes(3ull * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(HumanSeconds, Ranges) {
+  EXPECT_EQ(HumanSeconds(2.5), "2.50s");
+  EXPECT_EQ(HumanSeconds(0.012), "12.0ms");
+  EXPECT_EQ(HumanSeconds(3e-5), "30.0us");
+}
+
+TEST(SplitString, KeepsEmptyFields) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(TrimString, Whitespace) {
+  EXPECT_EQ(TrimString("  hi  "), "hi");
+  EXPECT_EQ(TrimString("\t\n x \r "), "x");
+  EXPECT_EQ(TrimString("   "), "");
+  EXPECT_EQ(TrimString("abc"), "abc");
+}
+
+TEST(StringFormat, Formats) {
+  EXPECT_EQ(StringFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringFormat("%.2f", 3.14159), "3.14");
+  // Long outputs are not truncated.
+  const std::string big = StringFormat("%0512d", 7);
+  EXPECT_EQ(big.size(), 512u);
+}
+
+}  // namespace
+}  // namespace hybridgraph

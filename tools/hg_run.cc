@@ -1,0 +1,234 @@
+// hg_run — command-line driver for HybridGraph jobs.
+//
+// Examples:
+//   hg_run --graph dataset:livej --algo pagerank --mode hybrid --supersteps 10
+//   hg_run --graph my_edges.txt --algo sssp --mode bpull --nodes 8 \
+//          --buffer 5000 --csv run.csv --trace
+//   hg_run --graph dataset:twi --algo sssp --mode hybrid --disk ssd
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/metrics_csv.h"
+#include "hybridgraph/hybridgraph.h"
+
+using namespace hybridgraph;
+
+namespace {
+
+struct Options {
+  std::string graph;
+  std::string algo = "pagerank";
+  std::string mode = "hybrid";
+  std::string disk = "hdd";
+  std::string csv;
+  uint32_t nodes = 5;
+  uint64_t buffer = UINT64_MAX;
+  uint64_t vertex_cache = UINT64_MAX;
+  int supersteps = 10;
+  VertexId source = 0;
+  bool source_set = false;
+  bool memory_resident = false;
+  bool trace = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hg_run --graph <file|dataset:NAME> [options]\n"
+      "  --algo pagerank|pagerank-delta|sssp|bfs|lpa|sa|wcc   (default pagerank)\n"
+      "  --mode push|pushm|pull|bpull|hybrid                  (default hybrid)\n"
+      "  --nodes N          simulated computational nodes      (default 5)\n"
+      "  --buffer N         message buffer B_i per node        (default: unlimited)\n"
+      "  --vertex-cache N   v-pull LRU vertex cache per node\n"
+      "  --supersteps N     superstep cap                      (default 10)\n"
+      "  --source V         SSSP/BFS source vertex             (default: max out-degree)\n"
+      "  --disk hdd|ssd     device profile                     (default hdd)\n"
+      "  --memory           memory-resident scenario (no modeled I/O)\n"
+      "  --csv FILE         write per-superstep metrics as CSV\n"
+      "  --trace            print the per-superstep table\n"
+      "datasets: livej wiki orkut twi fri uk (paper Table 4 scale models)\n");
+}
+
+Result<EngineMode> ParseMode(const std::string& s) {
+  static const std::map<std::string, EngineMode> kModes = {
+      {"push", EngineMode::kPush},   {"pushm", EngineMode::kPushM},
+      {"pull", EngineMode::kVPull},  {"bpull", EngineMode::kBPull},
+      {"b-pull", EngineMode::kBPull}, {"hybrid", EngineMode::kHybrid},
+  };
+  auto it = kModes.find(s);
+  if (it == kModes.end()) return Status::InvalidArgument("unknown mode: " + s);
+  return it->second;
+}
+
+Result<EdgeListGraph> LoadGraph(const std::string& spec) {
+  const std::string prefix = "dataset:";
+  if (spec.rfind(prefix, 0) == 0) {
+    HG_ASSIGN_OR_RETURN(DatasetSpec ds, FindDataset(spec.substr(prefix.size())));
+    return BuildDataset(ds);
+  }
+  return LoadEdgeListFile(spec);
+}
+
+void PrintTrace(const JobStats& stats) {
+  std::printf("%4s %8s %10s %12s %12s %12s %10s\n", "t", "mode", "responding",
+              "messages", "io_bytes", "net_bytes", "seconds");
+  for (const auto& s : stats.supersteps) {
+    std::printf("%4d %8s %10llu %12llu %12llu %12llu %10.5f%s\n", s.superstep,
+                EngineModeName(s.mode),
+                (unsigned long long)s.responding_vertices,
+                (unsigned long long)s.messages_produced,
+                (unsigned long long)s.io.Total(),
+                (unsigned long long)s.net_bytes, s.superstep_seconds,
+                s.switched ? "  <-- switch" : "");
+  }
+}
+
+template <typename P>
+int RunJob(const Options& opt, const EdgeListGraph& graph, P program,
+           EngineMode mode) {
+  JobConfig cfg;
+  cfg.mode = mode;
+  cfg.num_nodes = opt.nodes;
+  cfg.msg_buffer_per_node = opt.buffer;
+  cfg.vpull_vertex_cache = opt.vertex_cache;
+  cfg.max_supersteps = opt.supersteps;
+  cfg.memory_resident = opt.memory_resident;
+  cfg.disk = opt.disk == "ssd" ? DiskProfile::Ssd() : DiskProfile::Hdd();
+
+  const JobStats* stats = nullptr;
+  Status st;
+  std::unique_ptr<Engine<P>> engine;
+  std::unique_ptr<VPullEngine<P>> vpull;
+  if (mode == EngineMode::kVPull) {
+    vpull = std::make_unique<VPullEngine<P>>(cfg, program);
+    st = vpull->Load(graph);
+    if (st.ok()) st = vpull->Run();
+    stats = &vpull->stats();
+  } else {
+    engine = std::make_unique<Engine<P>>(cfg, program);
+    st = engine->Load(graph);
+    if (st.ok()) st = engine->Run();
+    stats = &engine->stats();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", stats->Summary().c_str());
+  if (opt.trace) PrintTrace(*stats);
+  if (!opt.csv.empty()) {
+    Status cs = WriteSuperstepCsv(*stats, opt.csv);
+    if (!cs.ok()) {
+      std::fprintf(stderr, "csv write failed: %s\n", cs.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opt.csv.c_str());
+  }
+  return 0;
+}
+
+VertexId DefaultSource(const EdgeListGraph& g) {
+  const auto deg = g.OutDegrees();
+  VertexId best = 0;
+  for (VertexId v = 1; v < g.num_vertices; ++v) {
+    if (deg[v] > deg[best]) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--graph") {
+      opt.graph = next();
+    } else if (arg == "--algo") {
+      opt.algo = next();
+    } else if (arg == "--mode") {
+      opt.mode = next();
+    } else if (arg == "--nodes") {
+      opt.nodes = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--buffer") {
+      opt.buffer = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--vertex-cache") {
+      opt.vertex_cache = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--supersteps") {
+      opt.supersteps = std::atoi(next());
+    } else if (arg == "--source") {
+      opt.source = static_cast<VertexId>(std::strtoul(next(), nullptr, 10));
+      opt.source_set = true;
+    } else if (arg == "--disk") {
+      opt.disk = next();
+    } else if (arg == "--csv") {
+      opt.csv = next();
+    } else if (arg == "--memory") {
+      opt.memory_resident = true;
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (opt.graph.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto graph_r = LoadGraph(opt.graph);
+  if (!graph_r.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 graph_r.status().ToString().c_str());
+    return 1;
+  }
+  const EdgeListGraph& graph = *graph_r;
+  std::printf("graph: %llu vertices, %llu edges\n",
+              (unsigned long long)graph.num_vertices,
+              (unsigned long long)graph.num_edges());
+
+  auto mode_r = ParseMode(opt.mode);
+  if (!mode_r.ok()) {
+    std::fprintf(stderr, "%s\n", mode_r.status().ToString().c_str());
+    return 2;
+  }
+  const EngineMode mode = *mode_r;
+
+  if (opt.algo == "pagerank") {
+    return RunJob(opt, graph, PageRankProgram{}, mode);
+  } else if (opt.algo == "pagerank-delta") {
+    return RunJob(opt, graph, PageRankDeltaProgram{}, mode);
+  } else if (opt.algo == "sssp") {
+    SsspProgram p;
+    p.source = opt.source_set ? opt.source : DefaultSource(graph);
+    return RunJob(opt, graph, p, mode);
+  } else if (opt.algo == "bfs") {
+    BfsProgram p;
+    p.source = opt.source_set ? opt.source : DefaultSource(graph);
+    return RunJob(opt, graph, p, mode);
+  } else if (opt.algo == "lpa") {
+    return RunJob(opt, graph, LpaProgram{}, mode);
+  } else if (opt.algo == "sa") {
+    return RunJob(opt, graph, SaProgram{}, mode);
+  } else if (opt.algo == "wcc") {
+    return RunJob(opt, graph, WccProgram{}, mode);
+  }
+  std::fprintf(stderr, "unknown algo: %s\n", opt.algo.c_str());
+  return 2;
+}
