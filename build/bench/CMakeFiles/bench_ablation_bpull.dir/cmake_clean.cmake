@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bpull.dir/bench_ablation_bpull.cc.o"
+  "CMakeFiles/bench_ablation_bpull.dir/bench_ablation_bpull.cc.o.d"
+  "bench_ablation_bpull"
+  "bench_ablation_bpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

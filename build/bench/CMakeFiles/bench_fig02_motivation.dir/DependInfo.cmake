@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_motivation.cc" "bench/CMakeFiles/bench_fig02_motivation.dir/bench_fig02_motivation.cc.o" "gcc" "bench/CMakeFiles/bench_fig02_motivation.dir/bench_fig02_motivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

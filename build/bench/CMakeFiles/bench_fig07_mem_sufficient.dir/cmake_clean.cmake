@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_mem_sufficient.dir/bench_fig07_mem_sufficient.cc.o"
+  "CMakeFiles/bench_fig07_mem_sufficient.dir/bench_fig07_mem_sufficient.cc.o.d"
+  "bench_fig07_mem_sufficient"
+  "bench_fig07_mem_sufficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_mem_sufficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

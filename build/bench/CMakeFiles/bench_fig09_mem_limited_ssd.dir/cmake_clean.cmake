@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_mem_limited_ssd.dir/bench_fig09_mem_limited_ssd.cc.o"
+  "CMakeFiles/bench_fig09_mem_limited_ssd.dir/bench_fig09_mem_limited_ssd.cc.o.d"
+  "bench_fig09_mem_limited_ssd"
+  "bench_fig09_mem_limited_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_mem_limited_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_io_bytes.dir/bench_fig10_io_bytes.cc.o"
+  "CMakeFiles/bench_fig10_io_bytes.dir/bench_fig10_io_bytes.cc.o.d"
+  "bench_fig10_io_bytes"
+  "bench_fig10_io_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_io_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hybrid_trace.dir/bench_fig14_hybrid_trace.cc.o"
+  "CMakeFiles/bench_fig14_hybrid_trace.dir/bench_fig14_hybrid_trace.cc.o.d"
+  "bench_fig14_hybrid_trace"
+  "bench_fig14_hybrid_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hybrid_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_25_vblocks.dir/bench_fig23_25_vblocks.cc.o"
+  "CMakeFiles/bench_fig23_25_vblocks.dir/bench_fig23_25_vblocks.cc.o.d"
+  "bench_fig23_25_vblocks"
+  "bench_fig23_25_vblocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_25_vblocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_25_vblocks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_combining.dir/bench_fig26_combining.cc.o"
+  "CMakeFiles/bench_fig26_combining.dir/bench_fig26_combining.cc.o.d"
+  "bench_fig26_combining"
+  "bench_fig26_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hg_bench_common.dir/bench_common.cc.o.d"
+  "libhg_bench_common.a"
+  "libhg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

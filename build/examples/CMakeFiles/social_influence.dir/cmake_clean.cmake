@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_influence.dir/social_influence.cpp.o"
+  "CMakeFiles/social_influence.dir/social_influence.cpp.o.d"
+  "social_influence"
+  "social_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_core.dir/metrics_csv.cc.o"
+  "CMakeFiles/hg_core.dir/metrics_csv.cc.o.d"
+  "CMakeFiles/hg_core.dir/run_metrics.cc.o"
+  "CMakeFiles/hg_core.dir/run_metrics.cc.o.d"
+  "libhg_core.a"
+  "libhg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

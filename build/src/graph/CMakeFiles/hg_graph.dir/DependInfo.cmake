@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency_store.cc" "src/graph/CMakeFiles/hg_graph.dir/adjacency_store.cc.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/adjacency_store.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/graph/CMakeFiles/hg_graph.dir/edge_list.cc.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/edge_list.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/hg_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/hg_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/ve_block_store.cc" "src/graph/CMakeFiles/hg_graph.dir/ve_block_store.cc.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/ve_block_store.cc.o.d"
+  "/root/repo/src/graph/vertex_store.cc" "src/graph/CMakeFiles/hg_graph.dir/vertex_store.cc.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/vertex_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hg_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

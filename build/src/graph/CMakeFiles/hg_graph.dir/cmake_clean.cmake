@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_graph.dir/adjacency_store.cc.o"
+  "CMakeFiles/hg_graph.dir/adjacency_store.cc.o.d"
+  "CMakeFiles/hg_graph.dir/edge_list.cc.o"
+  "CMakeFiles/hg_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/hg_graph.dir/generator.cc.o"
+  "CMakeFiles/hg_graph.dir/generator.cc.o.d"
+  "CMakeFiles/hg_graph.dir/partition.cc.o"
+  "CMakeFiles/hg_graph.dir/partition.cc.o.d"
+  "CMakeFiles/hg_graph.dir/ve_block_store.cc.o"
+  "CMakeFiles/hg_graph.dir/ve_block_store.cc.o.d"
+  "CMakeFiles/hg_graph.dir/vertex_store.cc.o"
+  "CMakeFiles/hg_graph.dir/vertex_store.cc.o.d"
+  "libhg_graph.a"
+  "libhg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/disk_model.cc" "src/io/CMakeFiles/hg_io.dir/disk_model.cc.o" "gcc" "src/io/CMakeFiles/hg_io.dir/disk_model.cc.o.d"
+  "/root/repo/src/io/message_spill.cc" "src/io/CMakeFiles/hg_io.dir/message_spill.cc.o" "gcc" "src/io/CMakeFiles/hg_io.dir/message_spill.cc.o.d"
+  "/root/repo/src/io/storage.cc" "src/io/CMakeFiles/hg_io.dir/storage.cc.o" "gcc" "src/io/CMakeFiles/hg_io.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_io.dir/disk_model.cc.o"
+  "CMakeFiles/hg_io.dir/disk_model.cc.o.d"
+  "CMakeFiles/hg_io.dir/message_spill.cc.o"
+  "CMakeFiles/hg_io.dir/message_spill.cc.o.d"
+  "CMakeFiles/hg_io.dir/storage.cc.o"
+  "CMakeFiles/hg_io.dir/storage.cc.o.d"
+  "libhg_io.a"
+  "libhg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_net.dir/message_codec.cc.o"
+  "CMakeFiles/hg_net.dir/message_codec.cc.o.d"
+  "CMakeFiles/hg_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/hg_net.dir/tcp_transport.cc.o.d"
+  "CMakeFiles/hg_net.dir/transport.cc.o"
+  "CMakeFiles/hg_net.dir/transport.cc.o.d"
+  "libhg_net.a"
+  "libhg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

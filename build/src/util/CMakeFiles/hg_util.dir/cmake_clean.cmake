@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_util.dir/logging.cc.o"
+  "CMakeFiles/hg_util.dir/logging.cc.o.d"
+  "CMakeFiles/hg_util.dir/metrics.cc.o"
+  "CMakeFiles/hg_util.dir/metrics.cc.o.d"
+  "CMakeFiles/hg_util.dir/rng.cc.o"
+  "CMakeFiles/hg_util.dir/rng.cc.o.d"
+  "CMakeFiles/hg_util.dir/status.cc.o"
+  "CMakeFiles/hg_util.dir/status.cc.o.d"
+  "CMakeFiles/hg_util.dir/string_util.cc.o"
+  "CMakeFiles/hg_util.dir/string_util.cc.o.d"
+  "libhg_util.a"
+  "libhg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

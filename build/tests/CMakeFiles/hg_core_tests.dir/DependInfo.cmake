@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregator_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/aggregator_test.cc.o.d"
+  "/root/repo/tests/core/cross_engine_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/cross_engine_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/cross_engine_test.cc.o.d"
+  "/root/repo/tests/core/edge_cases_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/edge_cases_test.cc.o.d"
+  "/root/repo/tests/core/engine_sweep_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/engine_sweep_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/engine_sweep_test.cc.o.d"
+  "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/engine_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/hybrid_test.cc.o.d"
+  "/root/repo/tests/core/loading_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/loading_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/loading_test.cc.o.d"
+  "/root/repo/tests/core/lru_cache_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/lru_cache_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/lru_cache_test.cc.o.d"
+  "/root/repo/tests/core/message_flow_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/message_flow_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/message_flow_test.cc.o.d"
+  "/root/repo/tests/core/metrics_csv_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/metrics_csv_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/metrics_csv_test.cc.o.d"
+  "/root/repo/tests/core/recovery_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/recovery_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/recovery_test.cc.o.d"
+  "/root/repo/tests/core/vpull_engine_test.cc" "tests/CMakeFiles/hg_core_tests.dir/core/vpull_engine_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/core/vpull_engine_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/hg_core_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/hg_core_tests.dir/smoke_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_core_tests.dir/core/aggregator_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/aggregator_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/cross_engine_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/cross_engine_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/edge_cases_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/edge_cases_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/engine_sweep_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/engine_sweep_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/engine_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/hybrid_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/hybrid_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/loading_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/loading_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/lru_cache_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/lru_cache_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/message_flow_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/message_flow_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/metrics_csv_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/metrics_csv_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/recovery_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/recovery_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/core/vpull_engine_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/core/vpull_engine_test.cc.o.d"
+  "CMakeFiles/hg_core_tests.dir/smoke_test.cc.o"
+  "CMakeFiles/hg_core_tests.dir/smoke_test.cc.o.d"
+  "hg_core_tests"
+  "hg_core_tests.pdb"
+  "hg_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

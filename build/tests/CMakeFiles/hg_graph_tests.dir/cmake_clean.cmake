@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_graph_tests.dir/graph/edge_list_test.cc.o"
+  "CMakeFiles/hg_graph_tests.dir/graph/edge_list_test.cc.o.d"
+  "CMakeFiles/hg_graph_tests.dir/graph/generator_test.cc.o"
+  "CMakeFiles/hg_graph_tests.dir/graph/generator_test.cc.o.d"
+  "CMakeFiles/hg_graph_tests.dir/graph/partition_test.cc.o"
+  "CMakeFiles/hg_graph_tests.dir/graph/partition_test.cc.o.d"
+  "CMakeFiles/hg_graph_tests.dir/graph/stores_test.cc.o"
+  "CMakeFiles/hg_graph_tests.dir/graph/stores_test.cc.o.d"
+  "hg_graph_tests"
+  "hg_graph_tests.pdb"
+  "hg_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_io_tests.dir/io/disk_model_test.cc.o"
+  "CMakeFiles/hg_io_tests.dir/io/disk_model_test.cc.o.d"
+  "CMakeFiles/hg_io_tests.dir/io/message_spill_test.cc.o"
+  "CMakeFiles/hg_io_tests.dir/io/message_spill_test.cc.o.d"
+  "CMakeFiles/hg_io_tests.dir/io/storage_test.cc.o"
+  "CMakeFiles/hg_io_tests.dir/io/storage_test.cc.o.d"
+  "hg_io_tests"
+  "hg_io_tests.pdb"
+  "hg_io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_net_tests.dir/net/message_codec_test.cc.o"
+  "CMakeFiles/hg_net_tests.dir/net/message_codec_test.cc.o.d"
+  "CMakeFiles/hg_net_tests.dir/net/tcp_transport_test.cc.o"
+  "CMakeFiles/hg_net_tests.dir/net/tcp_transport_test.cc.o.d"
+  "CMakeFiles/hg_net_tests.dir/net/transport_test.cc.o"
+  "CMakeFiles/hg_net_tests.dir/net/transport_test.cc.o.d"
+  "hg_net_tests"
+  "hg_net_tests.pdb"
+  "hg_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

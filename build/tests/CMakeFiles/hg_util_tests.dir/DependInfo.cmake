@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/buffer_test.cc" "tests/CMakeFiles/hg_util_tests.dir/util/buffer_test.cc.o" "gcc" "tests/CMakeFiles/hg_util_tests.dir/util/buffer_test.cc.o.d"
+  "/root/repo/tests/util/codec_test.cc" "tests/CMakeFiles/hg_util_tests.dir/util/codec_test.cc.o" "gcc" "tests/CMakeFiles/hg_util_tests.dir/util/codec_test.cc.o.d"
+  "/root/repo/tests/util/metrics_test.cc" "tests/CMakeFiles/hg_util_tests.dir/util/metrics_test.cc.o" "gcc" "tests/CMakeFiles/hg_util_tests.dir/util/metrics_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/hg_util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/hg_util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/hg_util_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/hg_util_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/hg_util_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/hg_util_tests.dir/util/string_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_util_tests.dir/util/buffer_test.cc.o"
+  "CMakeFiles/hg_util_tests.dir/util/buffer_test.cc.o.d"
+  "CMakeFiles/hg_util_tests.dir/util/codec_test.cc.o"
+  "CMakeFiles/hg_util_tests.dir/util/codec_test.cc.o.d"
+  "CMakeFiles/hg_util_tests.dir/util/metrics_test.cc.o"
+  "CMakeFiles/hg_util_tests.dir/util/metrics_test.cc.o.d"
+  "CMakeFiles/hg_util_tests.dir/util/rng_test.cc.o"
+  "CMakeFiles/hg_util_tests.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/hg_util_tests.dir/util/status_test.cc.o"
+  "CMakeFiles/hg_util_tests.dir/util/status_test.cc.o.d"
+  "CMakeFiles/hg_util_tests.dir/util/string_util_test.cc.o"
+  "CMakeFiles/hg_util_tests.dir/util/string_util_test.cc.o.d"
+  "hg_util_tests"
+  "hg_util_tests.pdb"
+  "hg_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hg_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/hg_io_tests[1]_include.cmake")
+include("/root/repo/build/tests/hg_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/hg_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/hg_core_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_run.dir/hg_run.cc.o"
+  "CMakeFiles/hg_run.dir/hg_run.cc.o.d"
+  "hg_run"
+  "hg_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
