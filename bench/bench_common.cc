@@ -98,52 +98,36 @@ bool ModeSupports(Algo algo, EngineMode mode) {
   return true;
 }
 
-namespace {
-
-template <typename P>
-Result<JobStats> RunEngineImpl(const EdgeListGraph& graph, EngineMode mode,
-                               JobConfig cfg, P program) {
-  cfg.mode = mode;
-  if (mode == EngineMode::kVPull) {
-    VPullEngine<P> engine(cfg, program);
-    HG_RETURN_IF_ERROR(engine.Load(graph));
-    HG_RETURN_IF_ERROR(engine.Run());
-    return engine.stats();
-  }
-  Engine<P> engine(cfg, program);
-  HG_RETURN_IF_ERROR(engine.Load(graph));
-  HG_RETURN_IF_ERROR(engine.Run());
-  return engine.stats();
-}
-
-}  // namespace
-
 Result<JobStats> RunAlgo(const EdgeListGraph& graph, Algo algo, EngineMode mode,
                          JobConfig cfg) {
   if (cfg.max_supersteps == 30) {  // caller left the default
     cfg.max_supersteps = MaxSuperstepsFor(algo);
   }
+  cfg.mode = mode;
+  AlgoSpec spec;
   switch (algo) {
     case Algo::kPageRank:
-      return RunEngineImpl(graph, mode, cfg, PageRankProgram{});
-    case Algo::kSssp: {
-      SsspProgram program;
-      // Source with the largest out-degree so the traversal covers the graph
-      // (the scale models leave some vertices with zero out-degree).
-      const auto degrees = graph.OutDegrees();
-      program.source = static_cast<VertexId>(
-          std::max_element(degrees.begin(), degrees.end()) - degrees.begin());
-      return RunEngineImpl(graph, mode, cfg, program);
-    }
+      spec.kind = AlgoKind::kPageRank;
+      break;
+    case Algo::kSssp:
+      // MakeEngine defaults the source to the max out-degree vertex, so the
+      // traversal covers the graph even on scale models that leave many
+      // vertices with zero out-degree.
+      spec.kind = AlgoKind::kSssp;
+      break;
     case Algo::kLpa:
-      return RunEngineImpl(graph, mode, cfg, LpaProgram{});
-    case Algo::kSa: {
-      SaProgram program;
-      program.source_stride = 500;
-      return RunEngineImpl(graph, mode, cfg, program);
-    }
+      spec.kind = AlgoKind::kLpa;
+      break;
+    case Algo::kSa:
+      spec.kind = AlgoKind::kSa;
+      spec.sa_source_stride = 500;
+      break;
   }
-  return Status::InvalidArgument("unknown algo");
+  HG_ASSIGN_OR_RETURN(std::unique_ptr<AnyEngine> engine,
+                      MakeEngine(cfg, spec));
+  HG_RETURN_IF_ERROR(engine->Load(graph));
+  HG_RETURN_IF_ERROR(engine->Run());
+  return engine->stats();
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {

@@ -1,6 +1,7 @@
 // Quickstart: run PageRank on a synthetic social graph under every engine
 // mode and compare modeled runtime and I/O — a miniature of the paper's
-// headline experiment.
+// headline experiment. The AnyEngine runner covers all five systems,
+// including the v-pull (PowerGraph) baseline, behind one interface.
 #include <cstdio>
 
 #include "hybridgraph/hybridgraph.h"
@@ -17,40 +18,25 @@ int main() {
 
   std::printf("%-8s %12s %12s %12s %10s\n", "engine", "modeled(s)", "io",
               "net", "msgs");
-  for (EngineMode mode : {EngineMode::kPush, EngineMode::kPushM,
-                          EngineMode::kBPull, EngineMode::kHybrid}) {
+  for (EngineMode mode :
+       {EngineMode::kPush, EngineMode::kPushM, EngineMode::kBPull,
+        EngineMode::kHybrid, EngineMode::kVPull}) {
     JobConfig cfg;
     cfg.mode = mode;
     cfg.num_nodes = 5;
     cfg.msg_buffer_per_node = 2500;  // limited memory: most messages overflow
+    cfg.vpull_vertex_cache = 2500;   // the v-pull analogue (LRU vertex cache)
     cfg.max_supersteps = 5;
-    Engine<PageRankProgram> engine(cfg, PageRankProgram{});
-    Status st = engine.Load(graph);
-    if (st.ok()) st = engine.Run();
+    auto engine = MakeEngine(cfg, AlgoKind::kPageRank).ValueOrDie();
+    Status st = engine->Load(graph);
+    if (st.ok()) st = engine->Run();
     if (!st.ok()) {
       std::printf("%-8s FAILED: %s\n", EngineModeName(mode), st.ToString().c_str());
       continue;
     }
-    const JobStats& s = engine.stats();
+    const JobStats& s = engine->stats();
     std::printf("%-8s %12.3f %12s %12s %10llu\n", EngineModeName(mode),
                 s.modeled_seconds, HumanBytes(s.TotalIoBytes()).c_str(),
-                HumanBytes(s.TotalNetBytes()).c_str(),
-                (unsigned long long)s.TotalMessages());
-  }
-
-  // The v-pull baseline (PowerGraph with a disk vertex table).
-  {
-    JobConfig cfg;
-    cfg.mode = EngineMode::kVPull;
-    cfg.num_nodes = 5;
-    cfg.vpull_vertex_cache = 2500;
-    cfg.max_supersteps = 5;
-    VPullEngine<PageRankProgram> engine(cfg, PageRankProgram{});
-    Status st = engine.Load(graph);
-    if (st.ok()) st = engine.Run();
-    const JobStats& s = engine.stats();
-    std::printf("%-8s %12.3f %12s %12s %10llu\n", "pull", s.modeled_seconds,
-                HumanBytes(s.TotalIoBytes()).c_str(),
                 HumanBytes(s.TotalNetBytes()).c_str(),
                 (unsigned long long)s.TotalMessages());
   }

@@ -2,7 +2,8 @@
 // social network) on the twi model — a Traversal-Style job whose message
 // volume swells and collapses, which is exactly where hybrid's adaptive
 // switching earns its keep. Prints the per-superstep adoption curve and the
-// mode the engine chose each superstep.
+// mode the engine chose each superstep. Built on the AnyEngine runner; a
+// custom program would use Engine<P> directly (see custom_algorithm.cpp).
 #include <cstdio>
 
 #include "hybridgraph/hybridgraph.h"
@@ -17,23 +18,23 @@ int main() {
               (unsigned long long)graph.num_vertices,
               (unsigned long long)graph.num_edges());
 
-  SaProgram program;
-  program.source_stride = 400;   // one advertiser per 400 users
-  program.interest_prob = 0.35;  // chance a user cares about a given ad
-
   JobConfig cfg;
   cfg.mode = EngineMode::kHybrid;
   cfg.num_nodes = 30;
   cfg.msg_buffer_per_node = 250;
   cfg.max_supersteps = 40;
 
-  Engine<SaProgram> engine(cfg, program);
-  HG_CHECK(engine.Load(graph).ok());
-  HG_CHECK(engine.Run().ok());
+  AlgoSpec spec_sa;
+  spec_sa.kind = AlgoKind::kSa;
+  spec_sa.sa_source_stride = 400;  // one advertiser per 400 users
+
+  auto engine = MakeEngine(cfg, spec_sa).ValueOrDie();
+  HG_CHECK(engine->Load(graph).ok());
+  HG_CHECK(engine->Run().ok());
 
   std::printf("%4s %10s %12s %10s %8s\n", "step", "forwards", "messages",
               "io_bytes", "mode");
-  for (const auto& s : engine.stats().supersteps) {
+  for (const auto& s : engine->stats().supersteps) {
     std::printf("%4d %10llu %12llu %10llu %8s%s\n", s.superstep,
                 (unsigned long long)s.responding_vertices,
                 (unsigned long long)s.messages_produced,
@@ -41,20 +42,20 @@ int main() {
                 s.switched ? " (switched)" : "");
   }
 
-  const auto values = engine.GatherValues().ValueOrDie();
+  // GatherValuesAsDouble projects each SA value to its adopted-ad count.
+  const auto ad_counts = engine->GatherValuesAsDouble().ValueOrDie();
   uint64_t adopters = 0, multi = 0;
-  for (const auto& v : values) {
-    const int ads = __builtin_popcountll(v.adopted);
+  for (double ads : ad_counts) {
     adopters += ads > 0;
     multi += ads > 1;
   }
   std::printf(
       "\ncampaign reach: %llu/%llu users adopted an ad (%llu adopted more "
       "than one)\n",
-      (unsigned long long)adopters, (unsigned long long)values.size(),
+      (unsigned long long)adopters, (unsigned long long)ad_counts.size(),
       (unsigned long long)multi);
   std::printf("converged: %s after %d supersteps, modeled %.3fs\n",
-              engine.converged() ? "yes" : "no", engine.stats().supersteps_run,
-              engine.stats().modeled_seconds);
+              engine->converged() ? "yes" : "no",
+              engine->stats().supersteps_run, engine->stats().modeled_seconds);
   return 0;
 }

@@ -26,11 +26,11 @@ int main() {
   cfg.msg_buffer_per_node = graph.num_edges() / 50 / cfg.num_nodes;
   cfg.max_supersteps = 10;
 
-  Engine<PageRankProgram> engine(cfg, PageRankProgram{});
-  HG_CHECK(engine.Load(graph).ok());
-  HG_CHECK(engine.Run().ok());
+  auto engine = MakeEngine(cfg, AlgoKind::kPageRank).ValueOrDie();
+  HG_CHECK(engine->Load(graph).ok());
+  HG_CHECK(engine->Run().ok());
 
-  const JobStats& stats = engine.stats();
+  const JobStats& stats = engine->stats();
   std::printf("ran %d supersteps, modeled %.3fs (wall %.3fs)\n",
               stats.supersteps_run, stats.modeled_seconds, stats.wall_seconds);
   std::printf("I/O %s, network %s, peak modeled memory %s\n",
@@ -43,7 +43,7 @@ int main() {
   }
   std::printf("\n\n");
 
-  const auto ranks = engine.GatherValues().ValueOrDie();
+  const auto ranks = engine->GatherValuesAsDouble().ValueOrDie();
   std::vector<VertexId> order(ranks.size());
   std::iota(order.begin(), order.end(), 0);
   std::partial_sort(order.begin(), order.begin() + 10, order.end(),

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Builds the tree with ThreadSanitizer (-DHG_SANITIZE=thread) and runs the
+# concurrency-sensitive tests: the thread pool and the parallel engine suite
+# at num_threads > 1. Any data race fails the run (TSan exits nonzero).
+set -eu
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DHG_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target hg_util_tests hg_core_tests
+
+export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
+"$BUILD_DIR"/tests/hg_util_tests --gtest_filter='ThreadPool.*'
+"$BUILD_DIR"/tests/hg_core_tests --gtest_filter='*Parallel*'
+echo "TSan clean: thread pool + parallel engine tests ran race-free"

@@ -47,6 +47,7 @@
 #include "net/transport.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hybridgraph {
 
@@ -147,6 +148,31 @@ class Engine {
     std::vector<uint8_t> pending_has;
     uint64_t pending_count = 0;
 
+    // Incoming kPushMessages payloads staged by the transport handler
+    // (indexed by sender), applied to the inbox at the post-Phase-B drain in
+    // sender order. Staging is what makes parallel Phase B deterministic:
+    // the drain order equals the arrival order of the old sequential
+    // execution (all of node 0's batches, then node 1's, ...), so the
+    // memory/spill split and every combine order are thread-count invariant.
+    std::vector<std::vector<std::vector<uint8_t>>> push_staged;
+
+    // Pull-Respond accounting staged per requester. The handler runs in the
+    // requester's thread while this node may be busy with its own Phase A,
+    // so it must not touch the shared per-superstep counters directly; the
+    // staged values are merged in requester order after the Phase A barrier,
+    // which reproduces the sequential accumulation order exactly (floating-
+    // point sums included).
+    struct PullServe {
+      IoBreakdown io;
+      double cpu_seconds = 0;
+      uint64_t msgs_produced = 0;
+      uint64_t msgs_combined = 0;
+      uint64_t msgs_wire = 0;
+      uint64_t flushes = 0;
+      uint64_t bs_highwater = 0;
+    };
+    std::vector<PullServe> pull_serve;
+
     // Per-superstep counters.
     double aggregate_partial = 0;
     uint64_t updated_vertices = 0;
@@ -178,6 +204,12 @@ class Engine {
   Status HandlePushBatch(Node& node, Slice payload);
   Status HandlePullRequest(Node& node, NodeId requester, Slice payload,
                            Buffer* response);
+  /// Applies the staged incoming push batches in sender order (run for every
+  /// node after the Phase B barrier, before accounting reads the inbox).
+  Status DrainStagedPushes(Node& node);
+  /// Folds the staged Pull-Respond counters into the node's per-superstep
+  /// counters in requester order (run after the Phase A barrier).
+  void MergePullServe(Node& node);
   Status ProducePush(Node& node, uint32_t vb,
                      const std::vector<uint8_t>& respond_in_vb,
                      const std::vector<uint8_t>& block_values);
@@ -213,6 +245,7 @@ class Engine {
   P program_;
   RangePartition partition_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<Node> nodes_;
   SuperstepContext ctx_;
 
@@ -401,6 +434,8 @@ Status Engine<P>::BuildNodes(const EdgeListGraph& graph) {
     node.pending_has.assign(n, 0);
     node.staging.resize(T);
     node.combine_index.resize(T);
+    node.push_staged.resize(T);
+    node.pull_serve.resize(T);
     for (VertexId v = node.range.begin; v < node.range.end; ++v) {
       const bool active = program_.InitActive(v);
       node.active[v - node.range.begin] = active ? 1 : 0;
@@ -437,11 +472,16 @@ Status Engine<P>::BuildNodes(const EdgeListGraph& graph) {
       }
     }
 
-    // RPC wiring.
+    // RPC wiring. Handlers run in the SENDER's thread (or a transport server
+    // thread) under the destination's dispatch lock, possibly while this
+    // node's own phase task is running — so they only stage raw bytes or
+    // per-requester counters; the engine applies them at the next barrier.
     transport_->RegisterHandler(
         i, RpcMethod::kPushMessages,
-        [this, &node](NodeId, Slice payload, Buffer*) {
-          return HandlePushBatch(node, payload);
+        [&node](NodeId src, Slice payload, Buffer*) {
+          node.push_staged[src].emplace_back(payload.data(),
+                                             payload.data() + payload.size());
+          return Status::OK();
         });
     transport_->RegisterHandler(
         i, RpcMethod::kPullRequest,
@@ -480,17 +520,13 @@ Status Engine<P>::BuildNodes(const EdgeListGraph& graph) {
 
 template <typename P>
 Status Engine<P>::Load(const EdgeListGraph& graph) {
-  if (config_.mode == EngineMode::kVPull) {
-    return Status::InvalidArgument("use VPullEngine for EngineMode::kVPull");
-  }
-  if (config_.mode == EngineMode::kPushM && !P::kCombinable) {
-    return Status::InvalidArgument(
-        "pushM (online computing) requires combinable messages");
-  }
   HG_RETURN_IF_ERROR(graph.Validate());
-  if (graph.num_vertices < config_.num_nodes) {
-    return Status::InvalidArgument("fewer vertices than nodes");
-  }
+  JobConfig::JobFacts facts;
+  facts.num_vertices = graph.num_vertices;
+  facts.combinable_messages = P::kCombinable;
+  facts.vpull_engine = false;
+  HG_RETURN_IF_ERROR(config_.Validate(facts));
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   total_edges_ = graph.num_edges();
   // Fold the cluster CPU scale into the per-unit costs once.
   config_.cpu.per_vertex_update_s *= config_.cpu.scale;
@@ -639,6 +675,43 @@ Status Engine<P>::HandlePushBatch(Node& node, Slice payload) {
 }
 
 template <typename P>
+Status Engine<P>::DrainStagedPushes(Node& node) {
+  // Apply the batches stashed by the kPushMessages handler, in sender order.
+  // Sequential execution delivered every batch from node 0 before any batch
+  // from node 1 (each sender ran its whole Phase B before the next), so this
+  // drain order reproduces the sequential inbox/moc/spill state exactly at
+  // any thread count.
+  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
+    for (const auto& payload : node.push_staged[src]) {
+      HG_RETURN_IF_ERROR(
+          HandlePushBatch(node, Slice(payload.data(), payload.size())));
+    }
+    node.push_staged[src].clear();
+  }
+  return Status::OK();
+}
+
+template <typename P>
+void Engine<P>::MergePullServe(Node& node) {
+  // Fold the per-requester Pull-Respond accounting into the node's counters
+  // in requester order — the order the sequential engine accumulated them —
+  // so float sums (cpu_seconds) are bit-identical at any thread count.
+  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
+    typename Node::PullServe& serve = node.pull_serve[src];
+    node.io.eblock_edge_bytes += serve.io.eblock_edge_bytes;
+    node.io.fragment_aux_bytes += serve.io.fragment_aux_bytes;
+    node.io.vrr_bytes += serve.io.vrr_bytes;
+    node.cpu_seconds += serve.cpu_seconds;
+    node.msgs_produced += serve.msgs_produced;
+    node.msgs_combined += serve.msgs_combined;
+    node.msgs_wire += serve.msgs_wire;
+    node.flushes += serve.flushes;
+    node.mem_highwater = std::max(node.mem_highwater, serve.bs_highwater);
+    serve = typename Node::PullServe{};
+  }
+}
+
+template <typename P>
 Status Engine<P>::FlushStaging(Node& node, NodeId dst, bool force) {
   auto& stage = node.staging[dst];
   const uint64_t bytes = stage.size() * kMsgRecordSize;
@@ -702,6 +775,10 @@ template <typename P>
 Status Engine<P>::HandlePullRequest(Node& node, NodeId requester, Slice payload,
                                     Buffer* response) {
   // Algorithm 2 (Pull-Respond) for Vblock b_i requested by `requester`.
+  // Runs in the requester's thread; all accounting goes to the per-requester
+  // staging slot (merged after the Phase A barrier) so concurrent pulls to
+  // this node never touch its shared counters.
+  typename Node::PullServe& serve = node.pull_serve[requester];
   Decoder dec(payload);
   uint32_t target_vb;
   HG_RETURN_IF_ERROR(dec.GetFixed32(&target_vb));
@@ -733,18 +810,18 @@ Status Engine<P>::HandlePullRequest(Node& node, NodeId requester, Slice payload,
 
     VeBlockStore::ScanResult scan;
     HG_RETURN_IF_ERROR(node.ve->ScanEblock(vb, target_vb, &scan));
-    node.io.eblock_edge_bytes += scan.edge_bytes;
-    node.io.fragment_aux_bytes += scan.aux_bytes;
+    serve.io.eblock_edge_bytes += scan.edge_bytes;
+    serve.io.fragment_aux_bytes += scan.aux_bytes;
     // Decoding scans the whole Eblock, useless edges included (Appendix C:
     // small V means big Eblocks whose extra edges waste bandwidth/CPU).
-    node.cpu_seconds += config_.cpu.per_edge_s *
-                        static_cast<double>(node.ve->Index(vb, target_vb).num_edges);
+    serve.cpu_seconds += config_.cpu.per_edge_s *
+                         static_cast<double>(node.ve->Index(vb, target_vb).num_edges);
 
     for (const auto& frag : scan.fragments) {
       if (!node.responding[node.LocalIdx(frag.src)]) continue;
       // Random read of the source vertex triple (the IO(V_rr) cost).
       HG_RETURN_IF_ERROR(node.vstore->ReadValueRandom(frag.src, &value_bytes));
-      node.io.vrr_bytes += node.vstore->record_size();
+      serve.io.vrr_bytes += node.vstore->record_size();
       const Value value = PodCodec<Value>::Decode(value_bytes.data());
       const uint32_t out_degree = node.vstore->OutDegree(frag.src);
 
@@ -752,7 +829,7 @@ Status Engine<P>::HandlePullRequest(Node& node, NodeId requester, Slice payload,
         const Message m =
             program_.GenMessage(frag.src, value, out_degree, e, gen_ctx);
         ++produced;
-        node.cpu_seconds += config_.cpu.per_message_s;
+        serve.cpu_seconds += config_.cpu.per_message_s;
         int64_t& gi = group_of[e.dst - dst_range.begin];
         if (gi < 0) {
           gi = static_cast<int64_t>(groups.size());
@@ -776,17 +853,17 @@ Status Engine<P>::HandlePullRequest(Node& node, NodeId requester, Slice payload,
     }
   }
 
-  node.msgs_produced += produced;
-  node.msgs_combined += combined_away;
-  node.msgs_wire += produced - combined_away;
+  serve.msgs_produced += produced;
+  serve.msgs_combined += combined_away;
+  serve.msgs_wire += produced - combined_away;
   // BS memory accounting: grouped batch bytes staged before transfer.
   const uint64_t bs_bytes = GroupedBatchCodec::EncodedSize(groups, kMsgSize);
-  node.mem_highwater = std::max(node.mem_highwater, bs_bytes);
+  serve.bs_highwater = std::max(serve.bs_highwater, bs_bytes);
   // Flow control: the batch ships in threshold-sized packages, one in flight.
-  node.flushes += bs_bytes == 0
-                      ? 0
-                      : (bs_bytes + config_.sending_threshold_bytes - 1) /
-                            std::max<uint64_t>(1, config_.sending_threshold_bytes);
+  serve.flushes += bs_bytes == 0
+                       ? 0
+                       : (bs_bytes + config_.sending_threshold_bytes - 1) /
+                             std::max<uint64_t>(1, config_.sending_threshold_bytes);
   GroupedBatchCodec::Encode(groups, kMsgSize, response);
   return Status::OK();
 }
@@ -1426,12 +1503,23 @@ Status Engine<P>::RunSuperstep() {
   const bool switched = superstep_ > 0 && produce_mode != prev_produce_;
 
   // Phase A on all nodes, then Phase B on all nodes: BSP-consistent pulls.
+  // Each phase fans out across the pool (one task per node) with a barrier
+  // in between; the staged cross-node effects (pull-serve accounting, pushed
+  // batches) are drained sequentially in fixed node order right after each
+  // barrier so every counter and float sum matches the single-thread run.
+  HG_RETURN_IF_ERROR(pool_->ParallelFor(
+      config_.num_nodes, [this](uint32_t i) { return PhaseAConsume(nodes_[i]); }));
   for (auto& node : nodes_) {
-    HG_RETURN_IF_ERROR(PhaseAConsume(node));
+    MergePullServe(node);
   }
-  for (auto& node : nodes_) {
-    HG_RETURN_IF_ERROR(PhaseBUpdateProduce(node));
-  }
+  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
+    return PhaseBUpdateProduce(nodes_[i]);
+  }));
+  // The drain itself is node-local (each node applies only its own staged
+  // batches), so it parallelizes too; sender order inside a node is fixed.
+  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
+    return DrainStagedPushes(nodes_[i]);
+  }));
 
   // Aggregator barrier: partial sums travel to the master and the global
   // value is broadcast back (metered control traffic), becoming visible to

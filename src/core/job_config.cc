@@ -1,0 +1,53 @@
+#include "core/job_config.h"
+
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+Status JobConfig::Validate(const JobFacts& facts) const {
+  if (num_nodes == 0) {
+    return Status::InvalidArgument("num_nodes must be at least 1");
+  }
+  if (num_threads > 1024) {
+    return Status::InvalidArgument(StringFormat(
+        "num_threads = %u is not a plausible thread count (max 1024, 0 = "
+        "hardware concurrency)",
+        num_threads));
+  }
+  if (sending_threshold_bytes == 0) {
+    return Status::InvalidArgument(
+        "sending_threshold_bytes must be nonzero (every staged message would "
+        "flush as its own network package)");
+  }
+  if (msg_buffer_per_node == 0) {
+    return Status::InvalidArgument(
+        "msg_buffer_per_node must be nonzero (B_i appears as a divisor in "
+        "the Vblock derivation, Eq. 5/6)");
+  }
+  if (max_supersteps < 0) {
+    return Status::InvalidArgument("max_supersteps must be >= 0");
+  }
+  if (switch_interval < 1) {
+    return Status::InvalidArgument("switch_interval must be >= 1");
+  }
+  if (facts.vpull_engine) {
+    if (mode != EngineMode::kVPull) {
+      return Status::InvalidArgument(
+          "VPullEngine only runs EngineMode::kVPull");
+    }
+  } else {
+    if (mode == EngineMode::kVPull) {
+      return Status::InvalidArgument("use VPullEngine for EngineMode::kVPull");
+    }
+    if (mode == EngineMode::kPushM && !facts.combinable_messages) {
+      return Status::InvalidArgument(
+          "pushM (online computing) requires combinable messages");
+    }
+  }
+  if (facts.num_vertices < num_nodes) {
+    return Status::InvalidArgument("fewer vertices than nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridgraph

@@ -7,6 +7,7 @@
 
 #include "io/disk_model.h"
 #include "net/transport.h"
+#include "util/status.h"
 
 namespace hybridgraph {
 
@@ -52,6 +53,12 @@ struct CpuModel {
 struct JobConfig {
   EngineMode mode = EngineMode::kHybrid;
   uint32_t num_nodes = 5;
+
+  /// Worker threads running the per-node superstep phases concurrently.
+  /// 0 = one thread per hardware core; 1 = fully sequential execution.
+  /// Results and modeled metrics are thread-count invariant (see DESIGN.md,
+  /// "Threading model").
+  uint32_t num_threads = 1;
 
   /// Receiver-side message buffer B_i (in messages) per node. UINT64_MAX
   /// means "sufficient memory" (nothing ever spills). For pushM this is the
@@ -130,6 +137,26 @@ struct JobConfig {
   std::string storage_dir = "/tmp/hybridgraph";
 
   uint64_t seed = 42;
+
+  /// Job properties that only the engine knows at Load() time but that
+  /// affect config validity. Defaults are permissive so Validate() can also
+  /// be called before a graph or program is in hand.
+  struct JobFacts {
+    uint64_t num_vertices = UINT64_MAX;
+    bool combinable_messages = true;
+    /// True when validating for VPullEngine (mode must be kVPull);
+    /// false for Engine (mode must not be kVPull).
+    bool vpull_engine = false;
+  };
+
+  /// Checks the config for internal consistency. The single entry point for
+  /// every precondition both engines used to assert piecemeal in Load():
+  /// mode/engine pairing, pushM-needs-combinable, enough vertices for the
+  /// cluster shape, and nonsensical knobs (zero nodes, a zero sending
+  /// threshold, a zero message buffer, absurd thread counts). Returns
+  /// InvalidArgument with a descriptive message on the first violation.
+  Status Validate(const JobFacts& facts) const;
+  Status Validate() const { return Validate(JobFacts()); }
 };
 
 }  // namespace hybridgraph

@@ -33,6 +33,7 @@
 #include "net/transport.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hybridgraph {
 
@@ -86,6 +87,15 @@ class VPullEngine {
     // Gather results arriving at the master.
     std::unordered_map<VertexId, std::vector<Message>> pending;
 
+    // Raw payloads stashed by the RPC handlers, indexed by sender. Handlers
+    // run in the sender's thread (under this node's dispatch lock) while this
+    // node's own phase task may be running, so they must not touch pending /
+    // cache / replica_responding; the engine drains the staged payloads in
+    // sender order at the next barrier, which reproduces the sequential
+    // arrival order (sender x finished its whole phase before sender x+1).
+    std::vector<std::vector<std::vector<uint8_t>>> gather_staged;
+    std::vector<std::vector<std::vector<uint8_t>>> apply_staged;
+
     // Per-superstep counters.
     uint64_t updated = 0;
     uint64_t responded = 0;
@@ -116,12 +126,21 @@ class VPullEngine {
   Status HandleGatherPartial(Node& node, Slice payload);
   Status HandleApplyBroadcast(Node& node, Slice payload);
 
+  /// Gather phase for one node (runs as a pool task).
+  Status GatherNode(Node& node);
+  /// Apply + Scatter phase for one node (runs as a pool task).
+  Status ApplyScatterNode(Node& node);
+  /// Applies staged handler payloads in sender order (post-barrier).
+  Status DrainGatherStaged(Node& node);
+  Status DrainApplyStaged(Node& node);
+
   void BeginAccounting();
   void EndAccounting();
 
   JobConfig config_;
   P program_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<Node> nodes_;
   std::vector<uint32_t> out_degrees_;
   SuperstepContext ctx_;
@@ -138,6 +157,12 @@ class VPullEngine {
 template <typename P>
 Status VPullEngine<P>::Load(const EdgeListGraph& graph) {
   HG_RETURN_IF_ERROR(graph.Validate());
+  JobConfig::JobFacts facts;
+  facts.num_vertices = graph.num_vertices;
+  facts.combinable_messages = P::kCombinable;
+  facts.vpull_engine = true;
+  HG_RETURN_IF_ERROR(config_.Validate(facts));
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   ctx_.num_vertices = graph.num_vertices;
   config_.cpu.per_vertex_update_s *= config_.cpu.scale;
   config_.cpu.per_message_s *= config_.cpu.scale;
@@ -240,6 +265,8 @@ Status VPullEngine<P>::Load(const EdgeListGraph& graph) {
     }
     HG_RETURN_IF_ERROR(
         node.storage->Write(VtabKey(i), buf.AsSlice(), IoClass::kSeqWrite));
+    node.gather_staged.resize(T);
+    node.apply_staged.resize(T);
     node.replica_responding.assign(node.replica_vertex.size(), 0);
     for (VertexId v : node.replica_vertex) {
       if (program_.InitActive(v)) {
@@ -264,13 +291,17 @@ Status VPullEngine<P>::Load(const EdgeListGraph& graph) {
 
     transport_->RegisterHandler(
         i, RpcMethod::kGatherPartial,
-        [this, node_ptr](NodeId, Slice payload, Buffer*) {
-          return HandleGatherPartial(*node_ptr, payload);
+        [node_ptr](NodeId src, Slice payload, Buffer*) {
+          node_ptr->gather_staged[src].emplace_back(
+              payload.data(), payload.data() + payload.size());
+          return Status::OK();
         });
     transport_->RegisterHandler(
         i, RpcMethod::kApplyBroadcast,
-        [this, node_ptr](NodeId, Slice payload, Buffer*) {
-          return HandleApplyBroadcast(*node_ptr, payload);
+        [node_ptr](NodeId src, Slice payload, Buffer*) {
+          node_ptr->apply_staged[src].emplace_back(
+              payload.data(), payload.data() + payload.size());
+          return Status::OK();
         });
   }
 
@@ -362,6 +393,30 @@ Status VPullEngine<P>::HandleApplyBroadcast(Node& node, Slice payload) {
 }
 
 template <typename P>
+Status VPullEngine<P>::DrainGatherStaged(Node& node) {
+  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
+    for (const auto& payload : node.gather_staged[src]) {
+      HG_RETURN_IF_ERROR(
+          HandleGatherPartial(node, Slice(payload.data(), payload.size())));
+    }
+    node.gather_staged[src].clear();
+  }
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::DrainApplyStaged(Node& node) {
+  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
+    for (const auto& payload : node.apply_staged[src]) {
+      HG_RETURN_IF_ERROR(
+          HandleApplyBroadcast(node, Slice(payload.data(), payload.size())));
+    }
+    node.apply_staged[src].clear();
+  }
+  return Status::OK();
+}
+
+template <typename P>
 void VPullEngine<P>::BeginAccounting() {
   for (auto& node : nodes_) {
     node.updated = 0;
@@ -419,146 +474,167 @@ void VPullEngine<P>::EndAccounting() {
 }
 
 template <typename P>
+Status VPullEngine<P>::GatherNode(Node& node) {
+  // Gather: scan local edges, read source replicas, build partials.
+  // Per destination master node: grouped partial aggregates.
+  std::vector<std::unordered_map<VertexId, std::vector<Message>>> partials(
+      config_.num_nodes);
+  std::vector<uint8_t> raw;
+  HG_RETURN_IF_ERROR(
+      node.storage->Read(EdgeKey(node.id), &raw, IoClass::kSeqRead));
+  Decoder dec{Slice(raw)};
+  Value src_value;
+  while (!dec.AtEnd()) {
+    RawEdge e;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&e.src));
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&e.dst));
+    HG_RETURN_IF_ERROR(dec.GetFloat(&e.weight));
+    const uint32_t src_idx = node.replica_idx[e.src];
+    if (!node.replica_responding[src_idx]) continue;
+    HG_RETURN_IF_ERROR(CachedRead(node, src_idx, &src_value));
+    const Message msg = program_.GenMessage(
+        e.src, src_value, out_degrees_[e.src], {e.dst, e.weight}, ctx_);
+    ++node.msgs_produced;
+    node.cpu_seconds +=
+        config_.cpu.per_edge_s + config_.cpu.per_message_s;
+    auto& slot = partials[MasterOf(e.dst)][e.dst];
+    if (P::kCombinable && !slot.empty()) {
+      slot[0] = P::Combine(slot[0], msg);
+    } else {
+      slot.push_back(msg);
+    }
+  }
+  // Ship partials to masters (the receiving handler only stages the bytes).
+  std::vector<uint8_t> tmp(kMsgSize);
+  for (uint32_t y = 0; y < config_.num_nodes; ++y) {
+    if (partials[y].empty()) continue;
+    std::vector<GroupedBatchCodec::Group> groups;
+    groups.reserve(partials[y].size());
+    for (auto& [v, msgs] : partials[y]) {
+      GroupedBatchCodec::Group g;
+      g.dst = v;
+      for (const Message& msg : msgs) {
+        PodCodec<Message>::Encode(msg, tmp.data());
+        g.payloads.push_back(tmp);
+      }
+      groups.push_back(std::move(g));
+    }
+    Buffer payload;
+    GroupedBatchCodec::Encode(groups, kMsgSize, &payload);
+    node.mem_highwater = std::max<uint64_t>(node.mem_highwater, payload.size());
+    HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kGatherPartial,
+                                        payload.AsSlice()));
+  }
+  return Status::OK();
+}
+
+template <typename P>
+Status VPullEngine<P>::ApplyScatterNode(Node& node) {
+  // Apply + Scatter at this master. Broadcast staging per replica node.
+  std::vector<Message> no_msgs;
+  std::vector<Buffer> bodies(config_.num_nodes);
+  std::vector<uint64_t> counts(config_.num_nodes, 0);
+  std::vector<uint8_t> tmp(kValueRecord);
+
+  for (VertexId v : node.owned) {
+    auto pit = node.pending.find(v);
+    const bool has_msgs = pit != node.pending.end();
+    const bool run_update = P::kAlwaysActive
+                                ? (superstep_ > 0 || program_.InitActive(v))
+                                : (has_msgs || (superstep_ == 0 &&
+                                                program_.InitActive(v)));
+    const uint32_t idx = node.replica_idx[v];
+    if (!run_update) {
+      // BSP semantics: a vertex that does not update this superstep does
+      // not respond this superstep. Clear a stale flag on every replica.
+      if (superstep_ > 0 && node.replica_responding[idx]) {
+        node.replica_responding[idx] = 0;
+        Value value;
+        HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
+        std::vector<uint8_t> vtmp(kValueRecord);
+        PodCodec<Value>::Encode(value, vtmp.data());
+        for (NodeId rn : node.replica_nodes[v]) {
+          if (rn == node.id) continue;
+          Encoder enc(&bodies[rn]);
+          enc.PutFixed32(v);
+          enc.PutU8(0);
+          enc.PutRaw(vtmp.data(), vtmp.size());
+          ++counts[rn];
+        }
+      }
+      continue;
+    }
+    Value value;
+    HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
+    const auto& msgs = has_msgs ? pit->second : no_msgs;
+    const UpdateResult res = program_.Update(v, &value, msgs, ctx_);
+    ++node.updated;
+    node.cpu_seconds += config_.cpu.per_vertex_update_s +
+                        config_.cpu.per_message_s * msgs.size();
+    if (res.changed) {
+      HG_RETURN_IF_ERROR(CachedWrite(node, idx, value));
+    }
+    if (res.respond) {
+      ++node.responded;
+    }
+    const uint8_t responding = res.respond ? 1 : 0;
+    const bool flag_changed =
+        node.replica_responding[idx] != responding;
+    node.replica_responding[idx] = responding;
+    // Mirror synchronization: value/flag changes go to every replica node.
+    if (res.changed || flag_changed) {
+      PodCodec<Value>::Encode(value, tmp.data());
+      for (NodeId rn : node.replica_nodes[v]) {
+        if (rn == node.id) continue;
+        Encoder enc(&bodies[rn]);
+        enc.PutFixed32(v);
+        enc.PutU8(responding);
+        enc.PutRaw(tmp.data(), tmp.size());
+        ++counts[rn];
+      }
+    }
+  }
+  node.pending.clear();
+
+  for (uint32_t y = 0; y < config_.num_nodes; ++y) {
+    if (counts[y] == 0) continue;
+    Buffer framed;
+    Encoder enc(&framed);
+    enc.PutVarint64(counts[y]);
+    enc.PutRaw(bodies[y].data(), bodies[y].size());
+    HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kApplyBroadcast,
+                                        framed.AsSlice()));
+  }
+  return Status::OK();
+}
+
+template <typename P>
 Status VPullEngine<P>::RunSuperstep() {
   if (!loaded_) return Status::FailedPrecondition("Load() first");
   ctx_.superstep = superstep_;
   BeginAccounting();
 
-  // -------- Gather: scan local edges, read source replicas, build partials.
+  // Gather fans out one task per node; the partial aggregates land as staged
+  // bytes at the masters and are folded in (sender order) after the barrier.
   if (superstep_ > 0) {
-    for (auto& node : nodes_) {
-      // Per destination master node: grouped partial aggregates.
-      std::vector<std::unordered_map<VertexId, std::vector<Message>>> partials(
-          config_.num_nodes);
-      std::vector<uint8_t> raw;
-      HG_RETURN_IF_ERROR(
-          node.storage->Read(EdgeKey(node.id), &raw, IoClass::kSeqRead));
-      Decoder dec{Slice(raw)};
-      Value src_value;
-      while (!dec.AtEnd()) {
-        RawEdge e;
-        HG_RETURN_IF_ERROR(dec.GetFixed32(&e.src));
-        HG_RETURN_IF_ERROR(dec.GetFixed32(&e.dst));
-        HG_RETURN_IF_ERROR(dec.GetFloat(&e.weight));
-        const uint32_t src_idx = node.replica_idx[e.src];
-        if (!node.replica_responding[src_idx]) continue;
-        HG_RETURN_IF_ERROR(CachedRead(node, src_idx, &src_value));
-        const Message msg = program_.GenMessage(
-            e.src, src_value, out_degrees_[e.src], {e.dst, e.weight}, ctx_);
-        ++node.msgs_produced;
-        node.cpu_seconds +=
-            config_.cpu.per_edge_s + config_.cpu.per_message_s;
-        auto& slot = partials[MasterOf(e.dst)][e.dst];
-        if (P::kCombinable && !slot.empty()) {
-          slot[0] = P::Combine(slot[0], msg);
-        } else {
-          slot.push_back(msg);
-        }
-      }
-      // Ship partials to masters.
-      std::vector<uint8_t> tmp(kMsgSize);
-      for (uint32_t y = 0; y < config_.num_nodes; ++y) {
-        if (partials[y].empty()) continue;
-        std::vector<GroupedBatchCodec::Group> groups;
-        groups.reserve(partials[y].size());
-        for (auto& [v, msgs] : partials[y]) {
-          GroupedBatchCodec::Group g;
-          g.dst = v;
-          for (const Message& msg : msgs) {
-            PodCodec<Message>::Encode(msg, tmp.data());
-            g.payloads.push_back(tmp);
-          }
-          groups.push_back(std::move(g));
-        }
-        Buffer payload;
-        GroupedBatchCodec::Encode(groups, kMsgSize, &payload);
-        node.mem_highwater = std::max<uint64_t>(node.mem_highwater, payload.size());
-        HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kGatherPartial,
-                                            payload.AsSlice()));
-      }
-    }
+    HG_RETURN_IF_ERROR(pool_->ParallelFor(
+        config_.num_nodes, [this](uint32_t i) { return GatherNode(nodes_[i]); }));
   }
+  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
+    return DrainGatherStaged(nodes_[i]);
+  }));
 
-  // -------- Apply + Scatter at the masters.
+  // Apply + Scatter, then fold the staged mirror updates into replica caches
+  // before accounting so dirty-eviction I/O lands in this superstep.
+  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
+    return ApplyScatterNode(nodes_[i]);
+  }));
+  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
+    return DrainApplyStaged(nodes_[i]);
+  }));
+
   uint64_t responding_next = 0;
-  std::vector<Message> no_msgs;
-  for (auto& node : nodes_) {
-    // Broadcast staging per replica node.
-    std::vector<Buffer> bodies(config_.num_nodes);
-    std::vector<uint64_t> counts(config_.num_nodes, 0);
-    std::vector<uint8_t> tmp(kValueRecord);
-
-    for (VertexId v : node.owned) {
-      auto pit = node.pending.find(v);
-      const bool has_msgs = pit != node.pending.end();
-      const bool run_update = P::kAlwaysActive
-                                  ? (superstep_ > 0 || program_.InitActive(v))
-                                  : (has_msgs || (superstep_ == 0 &&
-                                                  program_.InitActive(v)));
-      const uint32_t idx = node.replica_idx[v];
-      if (!run_update) {
-        // BSP semantics: a vertex that does not update this superstep does
-        // not respond this superstep. Clear a stale flag on every replica.
-        if (superstep_ > 0 && node.replica_responding[idx]) {
-          node.replica_responding[idx] = 0;
-          Value value;
-          HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
-          std::vector<uint8_t> vtmp(kValueRecord);
-          PodCodec<Value>::Encode(value, vtmp.data());
-          for (NodeId rn : node.replica_nodes[v]) {
-            if (rn == node.id) continue;
-            Encoder enc(&bodies[rn]);
-            enc.PutFixed32(v);
-            enc.PutU8(0);
-            enc.PutRaw(vtmp.data(), vtmp.size());
-            ++counts[rn];
-          }
-        }
-        continue;
-      }
-      Value value;
-      HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
-      const auto& msgs = has_msgs ? pit->second : no_msgs;
-      const UpdateResult res = program_.Update(v, &value, msgs, ctx_);
-      ++node.updated;
-      node.cpu_seconds += config_.cpu.per_vertex_update_s +
-                          config_.cpu.per_message_s * msgs.size();
-      if (res.changed) {
-        HG_RETURN_IF_ERROR(CachedWrite(node, idx, value));
-      }
-      if (res.respond) {
-        ++node.responded;
-        ++responding_next;
-      }
-      const uint8_t responding = res.respond ? 1 : 0;
-      const bool flag_changed =
-          node.replica_responding[idx] != responding;
-      node.replica_responding[idx] = responding;
-      // Mirror synchronization: value/flag changes go to every replica node.
-      if (res.changed || flag_changed) {
-        PodCodec<Value>::Encode(value, tmp.data());
-        for (NodeId rn : node.replica_nodes[v]) {
-          if (rn == node.id) continue;
-          Encoder enc(&bodies[rn]);
-          enc.PutFixed32(v);
-          enc.PutU8(responding);
-          enc.PutRaw(tmp.data(), tmp.size());
-          ++counts[rn];
-        }
-      }
-    }
-    node.pending.clear();
-
-    for (uint32_t y = 0; y < config_.num_nodes; ++y) {
-      if (counts[y] == 0) continue;
-      Buffer framed;
-      Encoder enc(&framed);
-      enc.PutVarint64(counts[y]);
-      enc.PutRaw(bodies[y].data(), bodies[y].size());
-      HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kApplyBroadcast,
-                                          framed.AsSlice()));
-    }
-  }
+  for (const auto& node : nodes_) responding_next += node.responded;
 
   EndAccounting();
   ++superstep_;

@@ -1,0 +1,202 @@
+#include "hybridgraph/any_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "algos/bfs.h"
+#include "algos/lpa.h"
+#include "algos/pagerank.h"
+#include "algos/pagerank_delta.h"
+#include "algos/sa.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+#include "core/engine.h"
+#include "core/vpull_engine.h"
+#include "net/message_codec.h"
+
+namespace hybridgraph {
+
+namespace {
+
+VertexId MaxOutDegreeVertex(const EdgeListGraph& graph) {
+  const auto degrees = graph.OutDegrees();
+  return static_cast<VertexId>(
+      std::max_element(degrees.begin(), degrees.end()) - degrees.begin());
+}
+
+/// Owns the actual engine. `Prepare` patches the program once the graph is
+/// known (source defaulting); `ToDouble` projects a value for
+/// GatherValuesAsDouble().
+template <typename P, typename Prepare, typename ToDouble>
+class TypedEngine final : public AnyEngine {
+ public:
+  using Value = typename P::Value;
+
+  TypedEngine(JobConfig config, P program, Prepare prepare, ToDouble to_double)
+      : config_(std::move(config)),
+        program_(std::move(program)),
+        prepare_(std::move(prepare)),
+        to_double_(std::move(to_double)) {}
+
+  Status Load(const EdgeListGraph& graph) override {
+    prepare_(program_, graph);
+    if (config_.mode == EngineMode::kVPull) {
+      vpull_ = std::make_unique<VPullEngine<P>>(config_, program_);
+      return vpull_->Load(graph);
+    }
+    engine_ = std::make_unique<Engine<P>>(config_, program_);
+    return engine_->Load(graph);
+  }
+
+  Status Run() override {
+    if (vpull_) return vpull_->Run();
+    if (engine_) return engine_->Run();
+    return Status::FailedPrecondition("Load() first");
+  }
+
+  Status RunSuperstep() override {
+    if (vpull_) return vpull_->RunSuperstep();
+    if (engine_) return engine_->RunSuperstep();
+    return Status::FailedPrecondition("Load() first");
+  }
+
+  bool converged() const override {
+    if (vpull_) return vpull_->converged();
+    if (engine_) return engine_->converged();
+    return false;
+  }
+
+  const JobStats& stats() const override {
+    if (vpull_) return vpull_->stats();
+    if (engine_) return engine_->stats();
+    return empty_stats_;
+  }
+
+  size_t value_size() const override { return P::kValueSize; }
+
+  Result<std::vector<uint8_t>> GatherValuesRaw() override {
+    HG_ASSIGN_OR_RETURN(std::vector<Value> values, Gather());
+    std::vector<uint8_t> out(values.size() * P::kValueSize);
+    for (size_t i = 0; i < values.size(); ++i) {
+      PodCodec<Value>::Encode(values[i], out.data() + i * P::kValueSize);
+    }
+    return out;
+  }
+
+  Result<std::vector<double>> GatherValuesAsDouble() override {
+    HG_ASSIGN_OR_RETURN(std::vector<Value> values, Gather());
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const Value& v : values) out.push_back(to_double_(v));
+    return out;
+  }
+
+ private:
+  Result<std::vector<Value>> Gather() {
+    if (vpull_) return vpull_->GatherValues();
+    if (engine_) return engine_->GatherValues();
+    return Status::FailedPrecondition("Load() first");
+  }
+
+  JobConfig config_;
+  P program_;
+  Prepare prepare_;
+  ToDouble to_double_;
+  std::unique_ptr<Engine<P>> engine_;
+  std::unique_ptr<VPullEngine<P>> vpull_;
+  JobStats empty_stats_;
+};
+
+template <typename P, typename Prepare, typename ToDouble>
+std::unique_ptr<AnyEngine> MakeTyped(const JobConfig& config, P program,
+                                     Prepare prepare, ToDouble to_double) {
+  return std::make_unique<TypedEngine<P, Prepare, ToDouble>>(
+      config, std::move(program), std::move(prepare), std::move(to_double));
+}
+
+constexpr auto kNoPrepare = [](auto&, const EdgeListGraph&) {};
+constexpr auto kNumericValue = [](const auto& v) {
+  return static_cast<double>(v);
+};
+
+}  // namespace
+
+const char* AlgoKindName(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kPageRank:
+      return "pagerank";
+    case AlgoKind::kPageRankDelta:
+      return "pagerank-delta";
+    case AlgoKind::kSssp:
+      return "sssp";
+    case AlgoKind::kBfs:
+      return "bfs";
+    case AlgoKind::kLpa:
+      return "lpa";
+    case AlgoKind::kSa:
+      return "sa";
+    case AlgoKind::kWcc:
+      return "wcc";
+  }
+  return "?";
+}
+
+Result<AlgoKind> ParseAlgoKind(const std::string& name) {
+  for (AlgoKind kind :
+       {AlgoKind::kPageRank, AlgoKind::kPageRankDelta, AlgoKind::kSssp,
+        AlgoKind::kBfs, AlgoKind::kLpa, AlgoKind::kSa, AlgoKind::kWcc}) {
+    if (name == AlgoKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+Result<std::unique_ptr<AnyEngine>> MakeEngine(const JobConfig& config,
+                                              const AlgoSpec& spec) {
+  switch (spec.kind) {
+    case AlgoKind::kPageRank:
+      return MakeTyped(config, PageRankProgram{}, kNoPrepare, kNumericValue);
+    case AlgoKind::kPageRankDelta:
+      return MakeTyped(config, PageRankDeltaProgram{}, kNoPrepare,
+                       kNumericValue);
+    case AlgoKind::kSssp: {
+      SsspProgram program;
+      if (spec.source_set) program.source = spec.source;
+      const bool pick_source = !spec.source_set;
+      return MakeTyped(
+          config, program,
+          [pick_source](SsspProgram& p, const EdgeListGraph& g) {
+            if (pick_source) p.source = MaxOutDegreeVertex(g);
+          },
+          kNumericValue);
+    }
+    case AlgoKind::kBfs: {
+      BfsProgram program;
+      if (spec.source_set) program.source = spec.source;
+      const bool pick_source = !spec.source_set;
+      return MakeTyped(
+          config, program,
+          [pick_source](BfsProgram& p, const EdgeListGraph& g) {
+            if (pick_source) p.source = MaxOutDegreeVertex(g);
+          },
+          kNumericValue);
+    }
+    case AlgoKind::kLpa:
+      return MakeTyped(config, LpaProgram{}, kNoPrepare, kNumericValue);
+    case AlgoKind::kSa: {
+      SaProgram program;
+      if (spec.sa_source_stride != 0) {
+        program.source_stride = spec.sa_source_stride;
+      }
+      return MakeTyped(config, program, kNoPrepare,
+                       [](const SaProgram::Value& v) {
+                         return static_cast<double>(std::popcount(v.adopted));
+                       });
+    }
+    case AlgoKind::kWcc:
+      return MakeTyped(config, WccProgram{}, kNoPrepare, kNumericValue);
+  }
+  return Status::InvalidArgument("unknown AlgoKind");
+}
+
+}  // namespace hybridgraph

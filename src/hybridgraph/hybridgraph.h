@@ -1,24 +1,31 @@
 // Umbrella public header for the HybridGraph library.
 //
-// Quick start:
+// Quick start (the type-erased runner covers every built-in algorithm and
+// all five engine modes, including the v-pull baseline):
 //
 //   #include "hybridgraph/hybridgraph.h"
 //   using namespace hybridgraph;
 //
 //   EdgeListGraph g = GeneratePowerLaw(100000, 16.0, 0.8, /*seed=*/1);
 //   JobConfig cfg;
-//   cfg.mode = EngineMode::kHybrid;       // push | pushM | b-pull | hybrid
+//   cfg.mode = EngineMode::kHybrid;       // push | pushM | pull | b-pull | hybrid
 //   cfg.num_nodes = 5;                    // simulated computational nodes
+//   cfg.num_threads = 0;                  // run them on all hardware cores
 //   cfg.msg_buffer_per_node = 20000;      // B_i (messages kept in memory)
 //   cfg.max_supersteps = 10;
-//   Engine<PageRankProgram> engine(cfg, PageRankProgram{});
-//   engine.Load(g).ok() && engine.Run().ok();
-//   auto ranks = engine.GatherValues();   // Result<std::vector<double>>
-//   const JobStats& stats = engine.stats();
+//   auto engine = MakeEngine(cfg, AlgoKind::kPageRank).ValueOrDie();
+//   engine->Load(g).ok() && engine->Run().ok();
+//   auto ranks = engine->GatherValuesAsDouble();  // Result<std::vector<double>>
+//   const JobStats& stats = engine->stats();
+//
+// Custom vertex programs keep using Engine<P> / VPullEngine<P> directly
+// (see examples/custom_algorithm.cpp).
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
 // reproduction index.
 #pragma once
+
+#include "hybridgraph/any_engine.h"
 
 #include "algos/bfs.h"
 #include "algos/hits.h"

@@ -77,12 +77,14 @@ void StorageService::MeterWrite(const std::string& key, uint64_t blob_size,
 // ---------------------------------------------------------------- MemStorage
 
 Status MemStorage::Write(const std::string& key, Slice data, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   blobs_[key].assign(data.data(), data.data() + data.size());
   MeterWrite(key, data.size(), data.size(), cls);
   return Status::OK();
 }
 
 Status MemStorage::Append(const std::string& key, Slice data, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto& blob = blobs_[key];
   blob.insert(blob.end(), data.data(), data.data() + data.size());
   MeterWrite(key, blob.size(), data.size(), cls);
@@ -91,6 +93,7 @@ Status MemStorage::Append(const std::string& key, Slice data, IoClass cls) {
 
 Status MemStorage::Read(const std::string& key, std::vector<uint8_t>* out,
                         IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
   *out = it->second;
@@ -100,6 +103,7 @@ Status MemStorage::Read(const std::string& key, std::vector<uint8_t>* out,
 
 Status MemStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
                              std::vector<uint8_t>* out, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
   const auto& blob = it->second;
@@ -118,6 +122,7 @@ Status MemStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t l
 
 Status MemStorage::WriteRange(const std::string& key, uint64_t offset,
                               Slice data, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
   auto& blob = it->second;
@@ -131,21 +136,25 @@ Status MemStorage::WriteRange(const std::string& key, uint64_t offset,
 }
 
 bool MemStorage::Exists(const std::string& key) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return blobs_.count(key) > 0;
 }
 
 Status MemStorage::Delete(const std::string& key) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   blobs_.erase(key);
   DropFromCache(key);
   return Status::OK();
 }
 
 uint64_t MemStorage::SizeOf(const std::string& key) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   return it == blobs_.end() ? 0 : it->second.size();
 }
 
 std::vector<std::string> MemStorage::ListKeys(const std::string& prefix) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::vector<std::string> out;
   for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -171,6 +180,7 @@ std::string FileStorage::PathFor(const std::string& key) const {
 }
 
 Status FileStorage::Write(const std::string& key, Slice data, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
@@ -184,6 +194,7 @@ Status FileStorage::Write(const std::string& key, Slice data, IoClass cls) {
 }
 
 Status FileStorage::Append(const std::string& key, Slice data, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
@@ -198,6 +209,7 @@ Status FileStorage::Append(const std::string& key, Slice data, IoClass cls) {
 
 Status FileStorage::Read(const std::string& key, std::vector<uint8_t>* out,
                          IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) return Status::NotFound("no blob file: " + path);
@@ -213,6 +225,7 @@ Status FileStorage::Read(const std::string& key, std::vector<uint8_t>* out,
 
 Status FileStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
                               std::vector<uint8_t>* out, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) return Status::NotFound("no blob file: " + path);
@@ -232,6 +245,7 @@ Status FileStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t 
 
 Status FileStorage::WriteRange(const std::string& key, uint64_t offset,
                                Slice data, IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   if (!Exists(key)) return Status::NotFound("no blob file: " + path);
   if (offset + data.size() > SizeOf(key)) {
@@ -248,10 +262,12 @@ Status FileStorage::WriteRange(const std::string& key, uint64_t offset,
 }
 
 bool FileStorage::Exists(const std::string& key) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return fs::exists(PathFor(key));
 }
 
 Status FileStorage::Delete(const std::string& key) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::error_code ec;
   fs::remove(PathFor(key), ec);
   DropFromCache(key);
@@ -259,12 +275,14 @@ Status FileStorage::Delete(const std::string& key) {
 }
 
 uint64_t FileStorage::SizeOf(const std::string& key) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::error_code ec;
   const auto size = fs::file_size(PathFor(key), ec);
   return ec ? 0 : static_cast<uint64_t>(size);
 }
 
 std::vector<std::string> FileStorage::ListKeys(const std::string& prefix) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::vector<std::string> out;
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_dir_, ec);

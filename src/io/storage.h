@@ -12,6 +12,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,12 @@ namespace hybridgraph {
 /// \brief Abstract keyed blob store with metered access and an optional
 /// whole-blob LRU page cache (reads of cached blobs are metered at RAM cost;
 /// writes always pay device cost and refresh the cache).
+///
+/// Thread safety: all blob operations, the meter, and the page cache are
+/// guarded by one internal lock, so a storage instance may be accessed from
+/// concurrent superstep phases (e.g. pull handlers served for several
+/// requesters). Note that meter snapshots are only meaningful when taken
+/// while no operations are in flight (the engines snapshot between phases).
 class StorageService {
  public:
   virtual ~StorageService() = default;
@@ -72,6 +79,9 @@ class StorageService {
                   IoClass cls);
   void DropFromCache(const std::string& key);
 
+  /// Serializes blob data, meter and page-cache state. Recursive because
+  /// backend methods compose (FileStorage::Append consults SizeOf()).
+  mutable std::recursive_mutex mutex_;
   DiskMeter meter_;
 
  private:

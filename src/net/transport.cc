@@ -30,10 +30,18 @@ void Transport::RegisterHandler(NodeId node, RpcMethod method,
 }
 
 void Transport::MeterFrame(NodeId src, NodeId dst, uint64_t bytes) {
-  meters_[src].bytes_sent += bytes;
-  meters_[src].frames_sent += 1;
-  meters_[dst].bytes_received += bytes;
-  meters_[dst].frames_received += 1;
+  // Each endpoint's meter under its own lock, one at a time (never nested),
+  // so concurrent senders can meter without a global bottleneck.
+  {
+    std::lock_guard<std::mutex> lock(meter_mutexes_[src]);
+    meters_[src].bytes_sent += bytes;
+    meters_[src].frames_sent += 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(meter_mutexes_[dst]);
+    meters_[dst].bytes_received += bytes;
+    meters_[dst].frames_received += 1;
+  }
 }
 
 Status Transport::Dispatch(const FrameHeader& hdr, Slice payload,
@@ -49,6 +57,13 @@ Status Transport::Dispatch(const FrameHeader& hdr, Slice payload,
     }
     handler = it->second;
   }
+  // Serialize handler execution per destination: a simulated node services
+  // one incoming frame at a time, exactly like a single-threaded server
+  // loop, while different destinations are served concurrently. Handlers
+  // must not send through the transport (the engines stage outgoing work
+  // and flush it from their own phase instead), so no nested dispatch locks
+  // are ever taken.
+  std::lock_guard<std::mutex> lock(dispatch_mutexes_[hdr.dst]);
   return handler(hdr.src, payload, response);
 }
 

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -94,7 +95,10 @@ class Transport {
       std::function<Status(NodeId src, Slice payload, Buffer* response)>;
 
   explicit Transport(uint32_t num_nodes)
-      : num_nodes_(num_nodes), meters_(num_nodes) {}
+      : num_nodes_(num_nodes),
+        meters_(num_nodes),
+        meter_mutexes_(new std::mutex[num_nodes]),
+        dispatch_mutexes_(new std::mutex[num_nodes]) {}
   virtual ~Transport() = default;
 
   uint32_t num_nodes() const { return num_nodes_; }
@@ -116,6 +120,8 @@ class Transport {
   virtual Status Call(NodeId src, NodeId dst, RpcMethod method, Slice payload,
                       std::vector<uint8_t>* response) = 0;
 
+  /// Meter access is only consistent when no frames are in flight (the
+  /// engines read meters between phases, under the superstep barrier).
   NetMeter* meter(NodeId node) { return &meters_.at(node); }
   const NetMeter& meter(NodeId node) const { return meters_.at(node); }
 
@@ -127,7 +133,12 @@ class Transport {
   void set_meter_local_traffic(bool v) { meter_local_traffic_ = v; }
 
  protected:
+  /// Looks up the handler and runs it under the destination node's dispatch
+  /// mutex, so concurrent senders targeting the same node are serialized (a
+  /// simulated node is single-threaded from its own point of view) while
+  /// traffic to distinct nodes proceeds in parallel.
   Status Dispatch(const FrameHeader& hdr, Slice payload, Buffer* response);
+  /// Updates both endpoints' meters, each under its own per-node mutex.
   void MeterFrame(NodeId src, NodeId dst, uint64_t bytes);
   bool ShouldMeter(NodeId src, NodeId dst) const {
     return meter_local_traffic_ || src != dst;
@@ -135,6 +146,12 @@ class Transport {
 
   uint32_t num_nodes_;
   std::vector<NetMeter> meters_;
+  /// meter_mutexes_[n] guards meters_[n]; never held together with another
+  /// meter mutex or a dispatch mutex, so there is no lock ordering to get
+  /// wrong.
+  std::unique_ptr<std::mutex[]> meter_mutexes_;
+  /// dispatch_mutexes_[dst] serializes handler execution at node `dst`.
+  std::unique_ptr<std::mutex[]> dispatch_mutexes_;
   mutable std::mutex handlers_mutex_;  ///< registration vs dispatch threads
   std::map<std::pair<NodeId, uint16_t>, Handler> handlers_;
   bool meter_local_traffic_ = false;

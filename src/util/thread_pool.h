@@ -1,0 +1,66 @@
+// Fixed-size worker pool used to run the per-node phases of a superstep
+// concurrently.
+//
+// Design notes:
+//  - No work stealing: a single FIFO queue guarded by one mutex. Superstep
+//    phases submit O(num_nodes) coarse tasks (one per simulated node), so
+//    queue contention is negligible and FIFO order keeps the 1-thread pool
+//    exactly equivalent to the old sequential loop.
+//  - ParallelFor() is the phase barrier: it returns only after every index
+//    has run, which is what gives the BSP engines their "all Phase A before
+//    any Phase B" happens-before edge.
+//  - A pool constructed with 1 thread runs ParallelFor bodies inline in the
+//    caller (still in index order); Submit() always goes through the worker
+//    so cross-thread delivery is exercised even at width 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridgraph {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Enqueues one task. Safe to call from any thread, including from inside
+  /// a running task. Tasks must not throw (use ParallelFor for work that can
+  /// fail).
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(0), ..., fn(n-1) across the pool and blocks until all of them
+  /// have finished — this is the barrier the BSP phases rely on. Returns the
+  /// non-OK Status with the smallest index if any body failed (deterministic
+  /// regardless of completion order); exceptions escaping a body are captured
+  /// as an internal-error Status the same way. Reusable: call it once per
+  /// phase on the same pool.
+  Status ParallelFor(uint32_t n, const std::function<Status(uint32_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,125 @@
+// ThreadPool: submission from many threads, Status/exception propagation,
+// and barrier (ParallelFor) reuse across many rounds.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hybridgraph {
+namespace {
+
+TEST(ThreadPool, ResolvesThreadCounts) {
+  EXPECT_EQ(ThreadPool(1).num_threads(), 1u);
+  EXPECT_EQ(ThreadPool(7).num_threads(), 7u);
+  EXPECT_GE(ThreadPool(0).num_threads(), 1u);  // 0 = hardware concurrency
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < kTasks) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, SubmissionFromManyThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.Submit([&] { done.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  while (done.load() < kThreads * kPerThread) std::this_thread::yield();
+  EXPECT_EQ(done.load(), kThreads * kPerThread);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr uint32_t kN = 97;
+  std::vector<std::atomic<int>> hits(kN);
+  const Status st = pool.ParallelFor(kN, [&](uint32_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (uint32_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstErrorByIndex) {
+  ThreadPool pool(4);
+  const Status st = pool.ParallelFor(10, [](uint32_t i) {
+    if (i == 3) return Status::InvalidArgument("boom-3");
+    if (i == 7) return Status::Internal("boom-7");
+    return Status::OK();
+  });
+  // Both fail; the smallest failing index wins so errors are deterministic.
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("boom-3"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForTurnsExceptionsIntoStatus) {
+  ThreadPool pool(2);
+  const Status st = pool.ParallelFor(4, [](uint32_t i) -> Status {
+    if (i == 2) throw std::runtime_error("kaboom");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("kaboom"), std::string::npos);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInIndexOrder) {
+  ThreadPool pool(1);
+  std::vector<uint32_t> order;
+  const Status st = pool.ParallelFor(16, [&](uint32_t i) {
+    order.push_back(i);  // no lock needed: width-1 pools run inline
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(order.size(), 16u);
+  for (uint32_t i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, BarrierIsReusableAcrossRounds) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> round_sum{0};
+    const Status st = pool.ParallelFor(8, [&](uint32_t i) {
+      round_sum.fetch_add(i + 1);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << round;
+    // The barrier guarantee: every task of this round finished before
+    // ParallelFor returned.
+    ASSERT_EQ(round_sum.load(), 36u) << round;
+    sum.fetch_add(round_sum.load());
+  }
+  EXPECT_EQ(sum.load(), 50u * 36u);
+}
+
+TEST(ThreadPool, ParallelForWithZeroTasksIsOk) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.ParallelFor(0, [](uint32_t) { return Status::OK(); }).ok());
+}
+
+}  // namespace
+}  // namespace hybridgraph

@@ -4,7 +4,7 @@
 //   hg_run --graph dataset:livej --algo pagerank --mode hybrid --supersteps 10
 //   hg_run --graph my_edges.txt --algo sssp --mode bpull --nodes 8 \
 //          --buffer 5000 --csv run.csv --trace
-//   hg_run --graph dataset:twi --algo sssp --mode hybrid --disk ssd
+//   hg_run --graph dataset:twi --algo sssp --mode hybrid --disk ssd --threads 0
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +26,7 @@ struct Options {
   std::string disk = "hdd";
   std::string csv;
   uint32_t nodes = 5;
+  uint32_t threads = 1;
   uint64_t buffer = UINT64_MAX;
   uint64_t vertex_cache = UINT64_MAX;
   int supersteps = 10;
@@ -42,6 +43,7 @@ void Usage() {
       "  --algo pagerank|pagerank-delta|sssp|bfs|lpa|sa|wcc   (default pagerank)\n"
       "  --mode push|pushm|pull|bpull|hybrid                  (default hybrid)\n"
       "  --nodes N          simulated computational nodes      (default 5)\n"
+      "  --threads N        worker threads, 0 = all cores      (default 1)\n"
       "  --buffer N         message buffer B_i per node        (default: unlimited)\n"
       "  --vertex-cache N   v-pull LRU vertex cache per node\n"
       "  --supersteps N     superstep cap                      (default 10)\n"
@@ -87,41 +89,41 @@ void PrintTrace(const JobStats& stats) {
   }
 }
 
-template <typename P>
-int RunJob(const Options& opt, const EdgeListGraph& graph, P program,
-           EngineMode mode) {
+int RunJob(const Options& opt, const EdgeListGraph& graph, EngineMode mode,
+           AlgoKind algo) {
   JobConfig cfg;
   cfg.mode = mode;
   cfg.num_nodes = opt.nodes;
+  cfg.num_threads = opt.threads;
   cfg.msg_buffer_per_node = opt.buffer;
   cfg.vpull_vertex_cache = opt.vertex_cache;
   cfg.max_supersteps = opt.supersteps;
   cfg.memory_resident = opt.memory_resident;
   cfg.disk = opt.disk == "ssd" ? DiskProfile::Ssd() : DiskProfile::Hdd();
 
-  const JobStats* stats = nullptr;
-  Status st;
-  std::unique_ptr<Engine<P>> engine;
-  std::unique_ptr<VPullEngine<P>> vpull;
-  if (mode == EngineMode::kVPull) {
-    vpull = std::make_unique<VPullEngine<P>>(cfg, program);
-    st = vpull->Load(graph);
-    if (st.ok()) st = vpull->Run();
-    stats = &vpull->stats();
-  } else {
-    engine = std::make_unique<Engine<P>>(cfg, program);
-    st = engine->Load(graph);
-    if (st.ok()) st = engine->Run();
-    stats = &engine->stats();
+  AlgoSpec spec;
+  spec.kind = algo;
+  spec.source = opt.source;
+  spec.source_set = opt.source_set;
+
+  auto engine_r = MakeEngine(cfg, spec);
+  if (!engine_r.ok()) {
+    std::fprintf(stderr, "cannot build engine: %s\n",
+                 engine_r.status().ToString().c_str());
+    return 1;
   }
+  std::unique_ptr<AnyEngine> engine = std::move(*engine_r);
+  Status st = engine->Load(graph);
+  if (st.ok()) st = engine->Run();
   if (!st.ok()) {
     std::fprintf(stderr, "job failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", stats->Summary().c_str());
-  if (opt.trace) PrintTrace(*stats);
+  const JobStats& stats = engine->stats();
+  std::printf("%s\n", stats.Summary().c_str());
+  if (opt.trace) PrintTrace(stats);
   if (!opt.csv.empty()) {
-    Status cs = WriteSuperstepCsv(*stats, opt.csv);
+    Status cs = WriteSuperstepCsv(stats, opt.csv);
     if (!cs.ok()) {
       std::fprintf(stderr, "csv write failed: %s\n", cs.ToString().c_str());
       return 1;
@@ -129,15 +131,6 @@ int RunJob(const Options& opt, const EdgeListGraph& graph, P program,
     std::printf("wrote %s\n", opt.csv.c_str());
   }
   return 0;
-}
-
-VertexId DefaultSource(const EdgeListGraph& g) {
-  const auto deg = g.OutDegrees();
-  VertexId best = 0;
-  for (VertexId v = 1; v < g.num_vertices; ++v) {
-    if (deg[v] > deg[best]) best = v;
-  }
-  return best;
 }
 
 }  // namespace
@@ -161,6 +154,8 @@ int main(int argc, char** argv) {
       opt.mode = next();
     } else if (arg == "--nodes") {
       opt.nodes = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--buffer") {
       opt.buffer = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--vertex-cache") {
@@ -208,27 +203,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", mode_r.status().ToString().c_str());
     return 2;
   }
-  const EngineMode mode = *mode_r;
-
-  if (opt.algo == "pagerank") {
-    return RunJob(opt, graph, PageRankProgram{}, mode);
-  } else if (opt.algo == "pagerank-delta") {
-    return RunJob(opt, graph, PageRankDeltaProgram{}, mode);
-  } else if (opt.algo == "sssp") {
-    SsspProgram p;
-    p.source = opt.source_set ? opt.source : DefaultSource(graph);
-    return RunJob(opt, graph, p, mode);
-  } else if (opt.algo == "bfs") {
-    BfsProgram p;
-    p.source = opt.source_set ? opt.source : DefaultSource(graph);
-    return RunJob(opt, graph, p, mode);
-  } else if (opt.algo == "lpa") {
-    return RunJob(opt, graph, LpaProgram{}, mode);
-  } else if (opt.algo == "sa") {
-    return RunJob(opt, graph, SaProgram{}, mode);
-  } else if (opt.algo == "wcc") {
-    return RunJob(opt, graph, WccProgram{}, mode);
+  auto algo_r = ParseAlgoKind(opt.algo);
+  if (!algo_r.ok()) {
+    std::fprintf(stderr, "%s\n", algo_r.status().ToString().c_str());
+    return 2;
   }
-  std::fprintf(stderr, "unknown algo: %s\n", opt.algo.c_str());
-  return 2;
+  return RunJob(opt, graph, *mode_r, *algo_r);
 }
