@@ -1,0 +1,20 @@
+#!/bin/sh
+# Single-entry CI gate: plain build + full test suite, then both sanitizer
+# sweeps. Everything a change must pass before it merges.
+#
+#   scripts/ci.sh            # uses build/, build-asan/, build-tsan/
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> plain build + full ctest"
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "==> AddressSanitizer sweep"
+sh scripts/check_asan.sh build-asan
+
+echo "==> ThreadSanitizer sweep"
+sh scripts/check_tsan.sh build-tsan
+
+echo "CI gate passed: build, tests, ASan and TSan all clean"

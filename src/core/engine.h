@@ -45,6 +45,7 @@
 #include "net/message_codec.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -264,6 +265,10 @@ class Engine {
   /// logically produces superstep t-1's messages and must see t-1's view).
   double pull_gen_aggregate_ = 0;
 
+  /// fault_counters() at the start of the current superstep; the superstep's
+  /// SuperstepMetrics records the delta.
+  TransportFaultCounters fault_snapshot_;
+
   uint64_t total_edges_ = 0;
   uint64_t total_fragments_ = 0;
   uint64_t total_in_degree_ = 0;
@@ -331,7 +336,14 @@ Status Engine<P>::BuildNodes(const EdgeListGraph& graph) {
   }
 
   if (config_.transport == TransportKind::kTcp) {
-    transport_ = std::make_unique<TcpTransport>(T);
+    TcpTransport::Options topt;
+    topt.call_timeout_ms = config_.tcp_call_timeout_ms;
+    topt.max_retries = config_.tcp_max_retries;
+    topt.backoff_base_us = config_.tcp_backoff_base_us;
+    topt.backoff_max_us = config_.tcp_backoff_max_us;
+    topt.max_frame_bytes = config_.tcp_max_frame_bytes;
+    topt.seed = config_.seed;
+    transport_ = std::make_unique<TcpTransport>(T, topt);
   } else {
     transport_ = std::make_unique<InProcTransport>(T);
   }
@@ -526,6 +538,10 @@ Status Engine<P>::Load(const EdgeListGraph& graph) {
   facts.combinable_messages = P::kCombinable;
   facts.vpull_engine = false;
   HG_RETURN_IF_ERROR(config_.Validate(facts));
+  if (!config_.failpoints.empty()) {
+    HG_RETURN_IF_ERROR(
+        FailPointRegistry::Instance().ArmFromString(config_.failpoints));
+  }
   pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   total_edges_ = graph.num_edges();
   // Fold the cluster CPU scale into the per-unit costs once.
@@ -1073,6 +1089,7 @@ void Engine<P>::BeginSuperstepAccounting() {
     node.disk_snapshot = *node.storage->meter();
     node.net_snapshot = *transport_->meter(node.id);
   }
+  fault_snapshot_ = transport_->fault_counters();
 }
 
 template <typename P>
@@ -1163,6 +1180,12 @@ void Engine<P>::EndSuperstepAccounting(EngineMode produce_mode, bool switched) {
   }
   m.blocking_seconds = max_blocking;
   m.superstep_seconds = max_node_seconds;
+
+  const TransportFaultCounters faults =
+      transport_->fault_counters().DeltaSince(fault_snapshot_);
+  m.net_retries = faults.retries;
+  m.net_timeouts = faults.timeouts;
+  m.net_reconnects = faults.reconnects;
 
   EvaluateSwitch(&m);
   stats_.supersteps.push_back(m);
@@ -1349,12 +1372,17 @@ void Engine<P>::EvaluateSwitch(SuperstepMetrics* m) {
 
 namespace ckpt_detail {
 constexpr uint32_t kMagic = 0x48474350;  // "HGCP"
-constexpr uint32_t kVersion = 1;
+// v2 appends an FNV-1a checksum trailer over the whole image, so a torn
+// write (crash mid-checkpoint) is detected at restore instead of decoding
+// garbage. v1 images (no trailer) are no longer accepted.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kTrailerSize = 8;
 }  // namespace ckpt_detail
 
 template <typename P>
 Status Engine<P>::WriteCheckpoint(Buffer* out) {
   if (!loaded_) return Status::FailedPrecondition("Load() first");
+  const size_t image_start = out->size();
   Encoder enc(out);
   enc.PutFixed32(ckpt_detail::kMagic);
   enc.PutFixed32(ckpt_detail::kVersion);
@@ -1369,6 +1397,10 @@ Status Engine<P>::WriteCheckpoint(Buffer* out) {
 
   std::vector<uint8_t> values;
   for (auto& node : nodes_) {
+    // Per-node fail-point: a crash here leaves a partial image with no
+    // checksum trailer — exactly the torn write RestoreCheckpoint must
+    // reject (see recovery_test).
+    HG_FAIL_POINT("ckpt.write");
     // Vertex values, per Vblock.
     for (uint32_t vb = partition_.FirstVblockOf(node.id);
          vb < partition_.LastVblockOf(node.id); ++vb) {
@@ -1398,12 +1430,30 @@ Status Engine<P>::WriteCheckpoint(Buffer* out) {
       enc.PutRaw(tmp, kMsgSize);
     }
   }
+  enc.PutFixed64(
+      Fnv1a64(out->data() + image_start, out->size() - image_start));
   return Status::OK();
 }
 
 template <typename P>
 Status Engine<P>::RestoreCheckpoint(Slice data) {
   if (!loaded_) return Status::FailedPrecondition("Load() first");
+  HG_FAIL_POINT("ckpt.restore");
+  if (data.size() < 8 + ckpt_detail::kTrailerSize) {
+    return Status::Corruption("checkpoint image too small");
+  }
+  const size_t body_size = data.size() - ckpt_detail::kTrailerSize;
+  {
+    Decoder trailer(
+        Slice(data.data() + body_size, ckpt_detail::kTrailerSize));
+    uint64_t stored = 0;
+    HG_RETURN_IF_ERROR(trailer.GetFixed64(&stored));
+    if (stored != Fnv1a64(data.data(), body_size)) {
+      return Status::Corruption(
+          "checkpoint checksum mismatch (torn or corrupted image)");
+    }
+  }
+  data = Slice(data.data(), body_size);
   Decoder dec(data);
   uint32_t magic, version;
   HG_RETURN_IF_ERROR(dec.GetFixed32(&magic));

@@ -1,5 +1,6 @@
 #include "core/job_config.h"
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace hybridgraph {
@@ -46,6 +47,27 @@ Status JobConfig::Validate(const JobFacts& facts) const {
   }
   if (facts.num_vertices < num_nodes) {
     return Status::InvalidArgument("fewer vertices than nodes");
+  }
+  if (tcp_max_retries > 100) {
+    return Status::InvalidArgument(StringFormat(
+        "tcp_max_retries = %u is not a plausible retry bound (max 100)",
+        tcp_max_retries));
+  }
+  if (tcp_backoff_max_us < tcp_backoff_base_us) {
+    return Status::InvalidArgument(
+        "tcp_backoff_max_us must be >= tcp_backoff_base_us");
+  }
+  if (tcp_max_frame_bytes < 1024) {
+    return Status::InvalidArgument(
+        "tcp_max_frame_bytes must be at least 1KiB (a frame header plus a "
+        "minimal batch)");
+  }
+  if (!failpoints.empty()) {
+    std::vector<std::pair<std::string, FailPointSpec>> parsed;
+    Status st = ParseFailPointList(failpoints, &parsed);
+    if (!st.ok()) {
+      return Status::InvalidArgument("bad failpoints config: " + st.message());
+    }
   }
   return Status::OK();
 }

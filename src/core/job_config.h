@@ -126,6 +126,20 @@ struct JobConfig {
 
   TransportKind transport = TransportKind::kInProc;
 
+  /// TCP transport reliability knobs (TransportKind::kTcp only; see
+  /// TcpTransport::Options). The retry/backoff schedule is seeded from
+  /// `seed`, so fault-injected runs replay bit-identically.
+  uint32_t tcp_call_timeout_ms = 5000;  ///< per-attempt deadline (0 = none)
+  uint32_t tcp_max_retries = 3;         ///< attempts beyond the first
+  uint32_t tcp_backoff_base_us = 200;   ///< first retry delay, doubles after
+  uint32_t tcp_backoff_max_us = 50000;  ///< retry delay ceiling
+  uint32_t tcp_max_frame_bytes = 64u << 20;  ///< frame size bound, both ends
+
+  /// Fail-point schedule armed at Load() (see util/failpoint.h for the
+  /// grammar; empty = none). Also settable via the HG_FAILPOINTS env var in
+  /// hg_run.
+  std::string failpoints;
+
   /// Model the load phase's partitioning shuffle: each node reads a hash
   /// split of the raw edge list from the DFS and routes every edge to its
   /// range-partition owner over the (metered) transport — the "tasks load

@@ -11,13 +11,14 @@ std::string SuperstepMetricsCsv(const JobStats& stats) {
       "superstep,mode,switched,active,responding,messages,messages_on_wire,"
       "messages_combined,messages_spilled,io_vt,io_adj,io_spill_write,"
       "io_spill_read,io_eblock,io_fragment_aux,io_vrr,io_other,io_total,"
-      "net_bytes,net_frames,cpu_s,io_s,net_s,blocking_s,superstep_s,"
+      "net_bytes,net_frames,net_retries,net_timeouts,net_reconnects,"
+      "cpu_s,io_s,net_s,blocking_s,superstep_s,"
       "memory_bytes,aggregate,q_t\n";
   for (const auto& s : stats.supersteps) {
     out += StringFormat(
         "%d,%s,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%.9g,"
-        "%.9g\n",
+        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,"
+        "%.9g,%llu,%.9g,%.9g\n",
         s.superstep, EngineModeName(s.mode), s.switched ? 1 : 0,
         (unsigned long long)s.active_vertices,
         (unsigned long long)s.responding_vertices,
@@ -34,7 +35,9 @@ std::string SuperstepMetricsCsv(const JobStats& stats) {
         (unsigned long long)s.io.vrr_bytes,
         (unsigned long long)s.io.other_bytes,
         (unsigned long long)s.io.Total(), (unsigned long long)s.net_bytes,
-        (unsigned long long)s.net_frames, s.cpu_seconds, s.io_seconds,
+        (unsigned long long)s.net_frames, (unsigned long long)s.net_retries,
+        (unsigned long long)s.net_timeouts,
+        (unsigned long long)s.net_reconnects, s.cpu_seconds, s.io_seconds,
         s.net_seconds, s.blocking_seconds, s.superstep_seconds,
         (unsigned long long)s.memory_highwater_bytes, s.aggregate, s.q_t);
   }

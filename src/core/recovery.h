@@ -6,6 +6,16 @@
 // with checkpoint_every == 0 a crash restarts the job from superstep 0
 // (the paper's policy); with periodic checkpoints a crash rolls back only to
 // the last barrier image stored in reliable storage.
+//
+// Crash surfaces handled:
+//  - `crash_after`: scripted whole-cluster crashes, consulted only at the
+//    superstep barrier (see Run()).
+//  - injected crashes (util/failpoint.h crash action) during a superstep:
+//    detected via IsInjectedCrash and recovered like a fault-detector event.
+//  - injected crashes during WriteCheckpoint ("ckpt.write" site): the torn
+//    partial image is kept as the newest "reliable storage" image — restore
+//    then detects it via the checksum trailer and falls back to the previous
+//    checkpoint, or to scratch when none exists.
 #pragma once
 
 #include <memory>
@@ -13,6 +23,7 @@
 #include <set>
 
 #include "core/engine.h"
+#include "util/failpoint.h"
 
 namespace hybridgraph {
 
@@ -31,24 +42,46 @@ class CheckpointingRunner {
   /// Runs the job to completion. The cluster "crashes" (all volatile state
   /// lost) immediately after computing each superstep listed in
   /// `crash_after`; each crash fires at most once.
+  ///
+  /// Contract: `crash_after` is consulted exactly once per superstep, at the
+  /// barrier after that superstep's checkpoint (if any) is written — it can
+  /// never interrupt a checkpoint mid-write. Sub-superstep crashes are the
+  /// fail-point subsystem's job: arm a crash action (e.g. at "ckpt.write" or
+  /// "storage.write") and this runner recovers from wherever it fires.
   Status Run(const EdgeListGraph& graph, std::set<int> crash_after = {}) {
     HG_RETURN_IF_ERROR(Reboot(graph, /*restore=*/false));
     while (engine_->superstep() < config_.max_supersteps &&
            !engine_->converged()) {
-      HG_RETURN_IF_ERROR(engine_->RunSuperstep());
+      Status step = engine_->RunSuperstep();
+      if (IsInjectedCrash(step)) {
+        HG_RETURN_IF_ERROR(Recover(graph));
+        continue;
+      }
+      HG_RETURN_IF_ERROR(step);
       ++supersteps_executed_;
       const int done = engine_->superstep();
       if (checkpoint_every_ > 0 && done % checkpoint_every_ == 0) {
         Buffer image;
-        HG_RETURN_IF_ERROR(engine_->WriteCheckpoint(&image));
+        Status wrote = engine_->WriteCheckpoint(&image);
+        if (IsInjectedCrash(wrote)) {
+          // The node died mid-checkpoint and the torn partial image is what
+          // reached reliable storage. Keep it as the newest image: recovery
+          // must detect it (checksum) and fall back, never restore it.
+          ++torn_checkpoints_;
+          prev_checkpoint_ = std::move(checkpoint_);
+          checkpoint_ = std::move(image);
+          HG_RETURN_IF_ERROR(Recover(graph));
+          continue;
+        }
+        HG_RETURN_IF_ERROR(wrote);
+        prev_checkpoint_ = std::move(checkpoint_);
         checkpoint_ = std::move(image);
         ++checkpoints_written_;
       }
       auto it = crash_after.find(done - 1);
       if (it != crash_after.end()) {
         crash_after.erase(it);
-        ++recoveries_;
-        HG_RETURN_IF_ERROR(Reboot(graph, /*restore=*/true));
+        HG_RETURN_IF_ERROR(Recover(graph));
       }
     }
     return Status::OK();
@@ -60,26 +93,59 @@ class CheckpointingRunner {
 
   int recoveries() const { return recoveries_; }
   int checkpoints_written() const { return checkpoints_written_; }
+  /// Checkpoint writes interrupted by an injected crash (torn images).
+  int torn_checkpoints() const { return torn_checkpoints_; }
+  /// Restores that rejected a corrupt image and fell back (to the previous
+  /// checkpoint, or from it to scratch).
+  int checkpoint_fallbacks() const { return checkpoint_fallbacks_; }
   /// Total supersteps computed including re-execution after crashes.
   int supersteps_executed() const { return supersteps_executed_; }
 
  private:
+  /// Caps runaway recovery loops (e.g. an unbounded crash fail-point that
+  /// fires again on every re-execution).
+  static constexpr int kMaxRecoveries = 256;
+
+  Status Recover(const EdgeListGraph& graph) {
+    if (++recoveries_ > kMaxRecoveries) {
+      return Status::Internal("recovery limit exceeded (crash loop)");
+    }
+    return Reboot(graph, /*restore=*/true);
+  }
+
   Status Reboot(const EdgeListGraph& graph, bool restore) {
-    engine_ = std::make_unique<Engine<P>>(config_, program_);
-    HG_RETURN_IF_ERROR(engine_->Load(graph));
-    if (restore && checkpoint_.has_value()) {
-      HG_RETURN_IF_ERROR(engine_->RestoreCheckpoint(checkpoint_->AsSlice()));
+    HG_RETURN_IF_ERROR(FreshEngine(graph));
+    if (!restore) return Status::OK();
+    while (checkpoint_.has_value()) {
+      Status st = engine_->RestoreCheckpoint(checkpoint_->AsSlice());
+      if (st.ok()) return Status::OK();
+      if (st.code() != StatusCode::kCorruption) return st;
+      // Torn/corrupt image: drop it, fall back to the next-older one (or to
+      // scratch), on a fresh engine — the failed restore may have left
+      // partial state behind.
+      ++checkpoint_fallbacks_;
+      checkpoint_ = std::move(prev_checkpoint_);
+      prev_checkpoint_.reset();
+      HG_RETURN_IF_ERROR(FreshEngine(graph));
     }
     return Status::OK();
+  }
+
+  Status FreshEngine(const EdgeListGraph& graph) {
+    engine_ = std::make_unique<Engine<P>>(config_, program_);
+    return engine_->Load(graph);
   }
 
   JobConfig config_;
   P program_;
   int checkpoint_every_;
   std::unique_ptr<Engine<P>> engine_;
-  std::optional<Buffer> checkpoint_;  ///< "reliable storage" image
+  std::optional<Buffer> checkpoint_;       ///< newest "reliable storage" image
+  std::optional<Buffer> prev_checkpoint_;  ///< next-older image (fallback)
   int recoveries_ = 0;
   int checkpoints_written_ = 0;
+  int torn_checkpoints_ = 0;
+  int checkpoint_fallbacks_ = 0;
   int supersteps_executed_ = 0;
 };
 

@@ -56,6 +56,12 @@ struct SuperstepMetrics {
 
   uint64_t memory_highwater_bytes = 0;
 
+  /// Transport fault recovery this superstep (nonzero only on TcpTransport
+  /// under injected or real faults; see Transport::fault_counters()).
+  uint64_t net_retries = 0;
+  uint64_t net_timeouts = 0;
+  uint64_t net_reconnects = 0;
+
   /// Global aggregator value combined at this superstep's barrier (0 when
   /// the program has no aggregator).
   double aggregate = 0;

@@ -31,6 +31,7 @@
 #include "net/message_codec.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -172,9 +173,20 @@ Status VPullEngine<P>::Load(const EdgeListGraph& graph) {
   out_degrees_ = graph.OutDegrees();
   const uint32_t T = config_.num_nodes;
   if (config_.transport == TransportKind::kTcp) {
-    transport_ = std::make_unique<TcpTransport>(T);
+    TcpTransport::Options topt;
+    topt.call_timeout_ms = config_.tcp_call_timeout_ms;
+    topt.max_retries = config_.tcp_max_retries;
+    topt.backoff_base_us = config_.tcp_backoff_base_us;
+    topt.backoff_max_us = config_.tcp_backoff_max_us;
+    topt.max_frame_bytes = config_.tcp_max_frame_bytes;
+    topt.seed = config_.seed;
+    transport_ = std::make_unique<TcpTransport>(T, topt);
   } else {
     transport_ = std::make_unique<InProcTransport>(T);
+  }
+  if (!config_.failpoints.empty()) {
+    HG_RETURN_IF_ERROR(
+        FailPointRegistry::Instance().ArmFromString(config_.failpoints));
   }
   nodes_.resize(T);
 

@@ -19,6 +19,7 @@ std::string MessageSpill::RunKey(size_t i) const {
 
 Status MessageSpill::SpillRun(std::vector<SpillEntry> entries) {
   if (entries.empty()) return Status::OK();
+  HG_FAIL_POINT("spill.flush");
   std::stable_sort(entries.begin(), entries.end(),
                    [](const SpillEntry& a, const SpillEntry& b) { return a.dst < b.dst; });
   Buffer buf;
@@ -33,6 +34,7 @@ Status MessageSpill::SpillRun(std::vector<SpillEntry> entries) {
   // Random write: destination-vertex order has no locality on disk.
   HG_RETURN_IF_ERROR(
       storage_->Write(RunKey(num_runs_), buf.AsSlice(), IoClass::kRandWrite));
+  HG_RETURN_IF_ERROR(storage_->Sync(RunKey(num_runs_)));
   ++num_runs_;
   num_messages_ += entries.size();
   bytes_written_ += buf.size();

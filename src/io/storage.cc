@@ -77,6 +77,7 @@ void StorageService::MeterWrite(const std::string& key, uint64_t blob_size,
 // ---------------------------------------------------------------- MemStorage
 
 Status MemStorage::Write(const std::string& key, Slice data, IoClass cls) {
+  HG_FAIL_POINT("storage.write");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   blobs_[key].assign(data.data(), data.data() + data.size());
   MeterWrite(key, data.size(), data.size(), cls);
@@ -84,6 +85,7 @@ Status MemStorage::Write(const std::string& key, Slice data, IoClass cls) {
 }
 
 Status MemStorage::Append(const std::string& key, Slice data, IoClass cls) {
+  HG_FAIL_POINT("storage.write");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto& blob = blobs_[key];
   blob.insert(blob.end(), data.data(), data.data() + data.size());
@@ -93,6 +95,7 @@ Status MemStorage::Append(const std::string& key, Slice data, IoClass cls) {
 
 Status MemStorage::Read(const std::string& key, std::vector<uint8_t>* out,
                         IoClass cls) {
+  HG_FAIL_POINT("storage.read");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
@@ -103,6 +106,7 @@ Status MemStorage::Read(const std::string& key, std::vector<uint8_t>* out,
 
 Status MemStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
                              std::vector<uint8_t>* out, IoClass cls) {
+  HG_FAIL_POINT("storage.read");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
@@ -122,6 +126,7 @@ Status MemStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t l
 
 Status MemStorage::WriteRange(const std::string& key, uint64_t offset,
                               Slice data, IoClass cls) {
+  HG_FAIL_POINT("storage.write");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
@@ -180,6 +185,7 @@ std::string FileStorage::PathFor(const std::string& key) const {
 }
 
 Status FileStorage::Write(const std::string& key, Slice data, IoClass cls) {
+  HG_FAIL_POINT("storage.write");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::error_code ec;
@@ -194,6 +200,7 @@ Status FileStorage::Write(const std::string& key, Slice data, IoClass cls) {
 }
 
 Status FileStorage::Append(const std::string& key, Slice data, IoClass cls) {
+  HG_FAIL_POINT("storage.write");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::error_code ec;
@@ -209,6 +216,7 @@ Status FileStorage::Append(const std::string& key, Slice data, IoClass cls) {
 
 Status FileStorage::Read(const std::string& key, std::vector<uint8_t>* out,
                          IoClass cls) {
+  HG_FAIL_POINT("storage.read");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::ifstream f(path, std::ios::binary | std::ios::ate);
@@ -225,6 +233,7 @@ Status FileStorage::Read(const std::string& key, std::vector<uint8_t>* out,
 
 Status FileStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
                               std::vector<uint8_t>* out, IoClass cls) {
+  HG_FAIL_POINT("storage.read");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   std::ifstream f(path, std::ios::binary | std::ios::ate);
@@ -245,6 +254,7 @@ Status FileStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t 
 
 Status FileStorage::WriteRange(const std::string& key, uint64_t offset,
                                Slice data, IoClass cls) {
+  HG_FAIL_POINT("storage.write");
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   const std::string path = PathFor(key);
   if (!Exists(key)) return Status::NotFound("no blob file: " + path);

@@ -18,6 +18,7 @@
 
 #include "io/disk_model.h"
 #include "util/buffer.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace hybridgraph {
@@ -58,6 +59,16 @@ class StorageService {
   /// Overwrites `data.size()` bytes at `offset` within an existing blob.
   virtual Status WriteRange(const std::string& key, uint64_t offset, Slice data,
                             IoClass cls) = 0;
+
+  /// Durability barrier for the blob at `key`: returns once previously
+  /// written data is considered persistent. Both backends are synchronous, so
+  /// this is a no-op seam — but it is a distinct fail-point site
+  /// ("storage.sync"), letting tests model a write that lands and an fsync
+  /// that fails (the classic torn-durability case).
+  virtual Status Sync(const std::string& key) {
+    (void)key;
+    return FailPointCheck("storage.sync");
+  }
 
   virtual bool Exists(const std::string& key) const = 0;
   virtual Status Delete(const std::string& key) = 0;

@@ -22,6 +22,12 @@ Status FlatBatchCodec::Decode(
   Decoder dec(data);
   uint64_t count;
   HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  // A record is at least 4 bytes (dst) + payload; a count that cannot fit in
+  // the remaining input is corrupt — reject it up front rather than letting
+  // an attacker-controlled varint drive a giant reserve().
+  if (count > dec.remaining() / (4 + payload_size)) {
+    return Status::Corruption("batch count exceeds input size");
+  }
   out->reserve(out->size() + count);
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t dst;
@@ -53,12 +59,20 @@ Status GroupedBatchCodec::Decode(Slice data, size_t payload_size,
   Decoder dec(data);
   uint64_t num_groups;
   HG_RETURN_IF_ERROR(dec.GetVarint64(&num_groups));
+  // A group is at least 5 bytes (dst + count varint); clamp like
+  // FlatBatchCodec so corrupt counts error out instead of driving reserve().
+  if (num_groups > dec.remaining() / 5) {
+    return Status::Corruption("group count exceeds input size");
+  }
   out->reserve(out->size() + num_groups);
   for (uint64_t i = 0; i < num_groups; ++i) {
     Group g;
     uint64_t n;
     HG_RETURN_IF_ERROR(dec.GetFixed32(&g.dst));
     HG_RETURN_IF_ERROR(dec.GetVarint64(&n));
+    if (payload_size > 0 && n > dec.remaining() / payload_size) {
+      return Status::Corruption("group payload count exceeds input size");
+    }
     g.payloads.reserve(n);
     for (uint64_t j = 0; j < n; ++j) {
       Slice payload;

@@ -1,10 +1,27 @@
-// TCP transport: the same frame protocol carried over real loopback sockets.
+// TCP transport: the same frame protocol carried over real loopback sockets,
+// with a real failure story — per-call deadlines, bounded retry with seeded
+// exponential backoff, reconnect on broken persistent connections, and
+// exactly-once delivery under retry via per-channel sequence numbers.
 //
 // Each node owns a listening socket served by its own thread; callers keep
-// one persistent connection per (src, dst) pair. The wire protocol is
+// one persistent connection per (src, dst) channel. The wire protocol is
 //
-//   request:  [kind u8: 0=post 1=call][FrameHeader][payload]
-//   response: post -> [ack u8] ; call -> [len fixed32][payload]
+//   request:  [kind u8: 0=post 1=call][seq fixed64][FrameHeader][payload]
+//   response: [code u8: StatusCode][len fixed32][payload or error message]
+//
+// Sequence numbers increase per channel. The receiver remembers, per channel,
+// the last sequence it executed and that frame's full response; a retried
+// frame (same seq, e.g. because the response was lost to a timeout or a dead
+// connection) is answered from that cache without re-running the handler, so
+// Post/Call side effects apply exactly once no matter how many transport-level
+// retries happen. Handler errors travel back in the response frame (they are
+// application outcomes, not transport faults, and are never retried).
+//
+// Retry schedules are deterministic: backoff jitter is drawn from a per-channel
+// SplitMix64 stream seeded from Options::seed, so a fixed seed replays the
+// identical delay sequence. Transport-level faults are counted (retries,
+// timeouts, reconnects) and surfaced through Transport::fault_counters() into
+// SuperstepMetrics.
 //
 // Handler dispatch is serialized by a transport-wide mutex, which both keeps
 // the (single-threaded) engine state safe and provides the happens-before
@@ -17,17 +34,37 @@
 #pragma once
 
 #include <atomic>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/transport.h"
+#include "util/rng.h"
 
 namespace hybridgraph {
 
 class TcpTransport : public Transport {
  public:
+  /// Reliability knobs, mirrored by the tcp_* fields of JobConfig.
+  struct Options {
+    /// Deadline for one attempt's response (SO_RCVTIMEO); 0 = wait forever.
+    uint32_t call_timeout_ms = 5000;
+    /// Attempts beyond the first before a send gives up.
+    uint32_t max_retries = 3;
+    /// First backoff delay; doubles per attempt (exponential).
+    uint32_t backoff_base_us = 200;
+    /// Backoff ceiling.
+    uint32_t backoff_max_us = 50000;
+    /// Seeds the per-channel jitter streams (schedules replay per seed).
+    uint64_t seed = 42;
+    /// Frames larger than this are rejected on both ends.
+    uint32_t max_frame_bytes = 64u << 20;
+  };
+
   explicit TcpTransport(uint32_t num_nodes);
+  TcpTransport(uint32_t num_nodes, Options options);
   ~TcpTransport() override;
 
   /// Binds one loopback listener per node and starts the server threads.
@@ -37,29 +74,60 @@ class TcpTransport : public Transport {
   Status Call(NodeId src, NodeId dst, RpcMethod method, Slice payload,
               std::vector<uint8_t>* response) override;
 
+  TransportFaultCounters fault_counters() const override;
+
   /// Port the given node listens on (0 before Start()).
   uint16_t port(NodeId node) const { return ports_[node]; }
+  const Options& options() const { return options_; }
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
  private:
+  /// One persistent client connection (src → dst) plus its retry state. The
+  /// channel mutex is held for the whole request/response exchange, so
+  /// concurrent senders on the same channel serialize while distinct channels
+  /// proceed in parallel.
+  struct Channel {
+    std::mutex mutex;
+    int fd = -1;
+    uint64_t next_seq = 1;
+    bool ever_connected = false;  // a later connect is a *re*connect
+    Rng jitter{0};
+  };
+
+  /// Receiver-side exactly-once state for one channel, guarded by
+  /// dispatch_mutex_.
+  struct DedupState {
+    uint64_t last_seq = 0;
+    std::vector<uint8_t> last_response;  // full response frame for last_seq
+  };
+
   Status SendFrame(NodeId src, NodeId dst, RpcMethod method, Slice payload,
                    bool is_call, std::vector<uint8_t>* response);
-  Status ConnectTo(NodeId src, NodeId dst, int* fd);
+  /// One attempt: (re)connect if needed, write the frame, read the response.
+  Status TrySend(Channel* ch, NodeId dst, Slice frame,
+                 std::vector<uint8_t>* response_frame);
+  Status ConnectChannel(Channel* ch, NodeId dst);
+  void CloseChannel(Channel* ch);
   void ServeNode(NodeId node);
   void ServeConnection(NodeId node, int fd);
   void Shutdown();
 
+  Options options_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::vector<int> listen_fds_;
   std::vector<uint16_t> ports_;
   std::vector<std::thread> server_threads_;
-  // conn_fds_[src * num_nodes + dst]: client connection, -1 when unopened.
-  std::vector<int> conn_fds_;
+  // channels_[src * num_nodes + dst]
+  std::unique_ptr<Channel[]> channels_;
   std::mutex dispatch_mutex_;
-  std::mutex connect_mutex_;
+  std::map<std::pair<NodeId, NodeId>, DedupState> dedup_;  // (src,dst) keyed
+
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> reconnects_{0};
 };
 
 }  // namespace hybridgraph

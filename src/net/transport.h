@@ -70,6 +70,21 @@ struct NetMeter {
   }
 };
 
+/// \brief Cumulative transport-level fault/recovery counters. In-process
+/// transport never faults (all zeros); TcpTransport counts every retried
+/// attempt, every per-call timeout, and every connection re-establishment.
+/// The engines snapshot these per superstep into SuperstepMetrics.
+struct TransportFaultCounters {
+  uint64_t retries = 0;     ///< attempts beyond the first, any cause
+  uint64_t timeouts = 0;    ///< attempts that failed by exceeding the deadline
+  uint64_t reconnects = 0;  ///< persistent connections re-established
+
+  TransportFaultCounters DeltaSince(const TransportFaultCounters& earlier) const {
+    return {retries - earlier.retries, timeouts - earlier.timeouts,
+            reconnects - earlier.reconnects};
+  }
+};
+
 /// Wire frame header: src, dst, method, payload length. Encoded size is
 /// charged to both endpoints on every frame (per-connection overhead).
 struct FrameHeader {
@@ -127,6 +142,10 @@ class Transport {
 
   /// Sum of bytes_sent across nodes (= total traffic in one direction).
   uint64_t TotalBytesSent() const;
+
+  /// Snapshot of fault/recovery counters. Like the byte meters, only
+  /// consistent between phases.
+  virtual TransportFaultCounters fault_counters() const { return {}; }
 
   /// Local (same-node) frames are still serialized but, like the paper's
   /// systems, do not cross the NIC; by default they are not metered.

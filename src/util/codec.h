@@ -192,4 +192,19 @@ inline size_t VarintLength(uint64_t v) {
   return len;
 }
 
+/// FNV-1a 64-bit hash: the integrity checksum for checkpoint images (torn or
+/// bit-flipped images must fail restore, not decode garbage). Not
+/// cryptographic — it guards against partial writes and corruption, not
+/// adversaries.
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace hybridgraph

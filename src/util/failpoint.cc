@@ -1,0 +1,234 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/codec.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+namespace {
+
+constexpr const char* kInjectedCrashPrefix = "injected crash";
+
+/// FNV-1a over the site name: stable across runs/platforms, so the per-site
+/// stream (spec.seed ^ hash) replays identically everywhere.
+uint64_t SiteHash(const std::string& site) {
+  return Fnv1a64(site.data(), site.size());
+}
+
+Status ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number in fail-point spec: " + s);
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseOneSpec(const std::string& entry, std::string* site,
+                    FailPointSpec* spec) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fail-point entry needs 'site=action': " +
+                                   entry);
+  }
+  *site = TrimString(entry.substr(0, eq));
+  std::string rhs = TrimString(entry.substr(eq + 1));
+  std::string args;
+  const size_t colon = rhs.find(':');
+  if (colon != std::string::npos) {
+    args = rhs.substr(colon + 1);
+    rhs = rhs.substr(0, colon);
+  }
+  *spec = FailPointSpec{};
+  if (rhs == "error") {
+    spec->action = FailPointAction::kError;
+  } else if (rhs == "delay") {
+    spec->action = FailPointAction::kDelay;
+  } else if (rhs == "crash") {
+    spec->action = FailPointAction::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown fail-point action: " + rhs);
+  }
+  for (const std::string& kv : SplitString(args, ',')) {
+    if (TrimString(kv).empty()) continue;
+    const size_t kveq = kv.find('=');
+    if (kveq == std::string::npos) {
+      return Status::InvalidArgument("fail-point arg needs 'k=v': " + kv);
+    }
+    const std::string key = TrimString(kv.substr(0, kveq));
+    const std::string val = TrimString(kv.substr(kveq + 1));
+    uint64_t num = 0;
+    if (key == "p") {
+      char* end = nullptr;
+      spec->probability = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || spec->probability < 0.0 ||
+          spec->probability > 1.0) {
+        return Status::InvalidArgument("fail-point p must be in [0,1]: " + val);
+      }
+    } else if (key == "seed") {
+      HG_RETURN_IF_ERROR(ParseU64(val, &num));
+      spec->seed = num;
+    } else if (key == "us") {
+      HG_RETURN_IF_ERROR(ParseU64(val, &num));
+      spec->delay_us = static_cast<uint32_t>(num);
+    } else if (key == "after") {
+      HG_RETURN_IF_ERROR(ParseU64(val, &num));
+      spec->crash_after_hits = num;
+    } else if (key == "max") {
+      HG_RETURN_IF_ERROR(ParseU64(val, &num));
+      spec->max_fires = static_cast<uint32_t>(num);
+    } else if (key == "code") {
+      if (val == "io") {
+        spec->error_code = StatusCode::kIoError;
+      } else if (val == "net") {
+        spec->error_code = StatusCode::kNetworkError;
+      } else if (val == "corruption") {
+        spec->error_code = StatusCode::kCorruption;
+      } else {
+        return Status::InvalidArgument("unknown fail-point error code: " + val);
+      }
+    } else {
+      return Status::InvalidArgument("unknown fail-point arg: " + key);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseFailPointList(
+    const std::string& config,
+    std::vector<std::pair<std::string, FailPointSpec>>* out) {
+  for (const std::string& entry : SplitString(config, ';')) {
+    if (TrimString(entry).empty()) continue;
+    std::string site;
+    FailPointSpec spec;
+    HG_RETURN_IF_ERROR(ParseOneSpec(TrimString(entry), &site, &spec));
+    out->emplace_back(std::move(site), spec);
+  }
+  return Status::OK();
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* instance = new FailPointRegistry();
+  return *instance;
+}
+
+void FailPointRegistry::Arm(const std::string& site, const FailPointSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Armed armed;
+  armed.spec = spec;
+  armed.rng = Rng(spec.seed ^ SiteHash(site));
+  armed_[site] = std::move(armed);
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FailPointRegistry::ArmFromString(const std::string& config) {
+  std::vector<std::pair<std::string, FailPointSpec>> specs;
+  HG_RETURN_IF_ERROR(ParseFailPointList(config, &specs));
+  for (const auto& [site, spec] : specs) Arm(site, spec);
+  return Status::OK();
+}
+
+void FailPointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.erase(site);
+  if (armed_.empty()) any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FailPointRegistry::Evaluate(const char* site) {
+  FailPointAction action;
+  StatusCode error_code;
+  uint32_t delay_us;
+  uint64_t hit_number;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = armed_.find(site);
+    if (it == armed_.end()) return Status::OK();
+    Armed& armed = it->second;
+    hit_number = armed.hits++;
+    // The decision for hit k consumes exactly one draw from the site's
+    // stream, so the schedule is a pure function of (seed, site, k).
+    const bool chance = armed.rng.NextBool(armed.spec.probability);
+    bool fire;
+    if (armed.spec.action == FailPointAction::kCrash) {
+      fire = chance && hit_number >= armed.spec.crash_after_hits;
+    } else {
+      fire = chance;
+    }
+    if (fire && armed.fires >= armed.spec.max_fires) fire = false;
+    if (!fire) return Status::OK();
+    ++armed.fires;
+    action = armed.spec.action;
+    error_code = armed.spec.error_code;
+    delay_us = armed.spec.delay_us;
+  }
+  switch (action) {
+    case FailPointAction::kError:
+      return Status(error_code,
+                    StringFormat("injected error at %s (hit %llu)", site,
+                                 static_cast<unsigned long long>(hit_number)));
+    case FailPointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      return Status::OK();
+    case FailPointAction::kCrash:
+      return Status::Internal(
+          StringFormat("%s at %s (hit %llu)", kInjectedCrashPrefix, site,
+                       static_cast<unsigned long long>(hit_number)));
+  }
+  return Status::OK();
+}
+
+uint64_t FailPointRegistry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = armed_.find(site);
+  return it == armed_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPointRegistry::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = armed_.find(site);
+  return it == armed_.end() ? 0 : it->second.fires;
+}
+
+bool IsInjectedCrash(const Status& st) {
+  return st.code() == StatusCode::kInternal &&
+         st.message().rfind(kInjectedCrashPrefix, 0) == 0;
+}
+
+FailPointScope::FailPointScope(const std::string& config) {
+  std::vector<std::pair<std::string, FailPointSpec>> specs;
+  status_ = ParseFailPointList(config, &specs);
+  if (!status_.ok()) return;
+  for (const auto& [site, spec] : specs) {
+    FailPointRegistry::Instance().Arm(site, spec);
+    sites_.push_back(site);
+  }
+}
+
+FailPointScope::FailPointScope(const std::string& site,
+                               const FailPointSpec& spec) {
+  FailPointRegistry::Instance().Arm(site, spec);
+  sites_.push_back(site);
+}
+
+FailPointScope::~FailPointScope() {
+  for (const std::string& site : sites_) {
+    FailPointRegistry::Instance().Disarm(site);
+  }
+}
+
+}  // namespace hybridgraph

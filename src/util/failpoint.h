@@ -1,0 +1,151 @@
+// Deterministic fault injection: a process-wide registry of named fail-point
+// sites threaded through the I/O and network seams (storage read/write/sync,
+// message-spill flushes, checkpoint write/restore, TCP send).
+//
+// Each armed site owns its own SplitMix64 stream seeded from
+// (spec.seed ^ hash(site)), and the fire/no-fire decision for hit number k is
+// a pure function of that stream — so a fixed seed replays the identical
+// fail-point schedule run after run, and the per-site decision sequence is
+// independent of thread interleaving (hit k fires or not regardless of which
+// thread performs it). Sites are cheap when nothing is armed: one relaxed
+// atomic load.
+//
+// Actions:
+//   error  — return an error Status (configurable code) from the site
+//   delay  — sleep for a fixed number of microseconds, then succeed
+//   crash  — succeed for the first `after` hits, then return the injected
+//            crash Status (kInternal, recognizable via IsInjectedCrash) on
+//            every later hit; models a node dying mid-operation, e.g. a torn
+//            checkpoint write
+//
+// Sites are armed programmatically (FailPointSpec), from a config string
+// ("site=action:k=v,k=v;site2=..."; see ParseFailPointList), from
+// JobConfig::failpoints, or from the HG_FAILPOINTS environment variable.
+// Tests use FailPointScope for RAII arm/disarm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+enum class FailPointAction : uint8_t {
+  kError = 0,
+  kDelay = 1,
+  kCrash = 2,
+};
+
+/// How one armed site behaves. All randomness comes from `seed`, so a spec is
+/// a complete, replayable description of the schedule.
+struct FailPointSpec {
+  FailPointAction action = FailPointAction::kError;
+  /// Chance that a given hit fires (evaluated per hit from the site's seeded
+  /// stream; 1.0 = every hit).
+  double probability = 1.0;
+  /// Mixed with the site name to seed the site's decision stream.
+  uint64_t seed = 0;
+  /// kDelay: how long to stall the hitting thread.
+  uint32_t delay_us = 100;
+  /// kCrash: number of hits that succeed before the crash fires.
+  uint64_t crash_after_hits = 0;
+  /// Stop firing after this many fires (UINT32_MAX = unlimited).
+  uint32_t max_fires = UINT32_MAX;
+  /// kError: Status code returned by fired hits.
+  StatusCode error_code = StatusCode::kIoError;
+};
+
+/// Parses a fail-point config string into (site, spec) pairs.
+///
+/// Grammar:  list  = entry *(";" entry)
+///           entry = site "=" action [":" kv *("," kv)]
+/// Actions: "error", "delay", "crash". Keys: p=<prob>, seed=<u64>, us=<u32>,
+/// after=<u64>, max=<u32>, code=io|net|corruption.
+/// Example: "storage.write=error:p=0.05,seed=9;tcp.drop=error:max=1".
+Status ParseFailPointList(const std::string& config,
+                          std::vector<std::pair<std::string, FailPointSpec>>* out);
+
+/// \brief Process-wide fail-point registry. All methods are thread-safe.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Instance();
+
+  void Arm(const std::string& site, const FailPointSpec& spec);
+  /// Arms every entry of a ParseFailPointList config string.
+  Status ArmFromString(const std::string& config);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Evaluates one hit at `site`: OK when the site is unarmed or this hit
+  /// does not fire; otherwise performs the armed action.
+  Status Evaluate(const char* site);
+
+  /// Total hits / fired hits observed at `site` since it was armed.
+  uint64_t hits(const std::string& site) const;
+  uint64_t fires(const std::string& site) const;
+
+  bool any_armed() const { return any_armed_.load(std::memory_order_relaxed); }
+
+  FailPointRegistry(const FailPointRegistry&) = delete;
+  FailPointRegistry& operator=(const FailPointRegistry&) = delete;
+
+ private:
+  FailPointRegistry() = default;
+
+  struct Armed {
+    FailPointSpec spec;
+    Rng rng{0};
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Armed> armed_;
+  std::atomic<bool> any_armed_{false};
+};
+
+/// True when `st` is the Status an injected crash action produces (used by
+/// CheckpointingRunner to tell "the cluster died here" from a real error).
+bool IsInjectedCrash(const Status& st);
+
+/// Fast-path site evaluation: a relaxed atomic load when nothing is armed.
+inline Status FailPointCheck(const char* site) {
+  FailPointRegistry& reg = FailPointRegistry::Instance();
+  if (!reg.any_armed()) return Status::OK();
+  return reg.Evaluate(site);
+}
+
+/// RAII arm/disarm for tests: arms the given config string (or single site)
+/// on construction and disarms exactly those sites on destruction.
+class FailPointScope {
+ public:
+  explicit FailPointScope(const std::string& config);
+  FailPointScope(const std::string& site, const FailPointSpec& spec);
+  ~FailPointScope();
+
+  const Status& status() const { return status_; }  ///< parse/arm outcome
+
+  FailPointScope(const FailPointScope&) = delete;
+  FailPointScope& operator=(const FailPointScope&) = delete;
+
+ private:
+  std::vector<std::string> sites_;
+  Status status_;
+};
+
+}  // namespace hybridgraph
+
+/// Evaluates a fail-point site inside a function returning Status: returns
+/// the injected Status when the site fires, continues otherwise.
+#define HG_FAIL_POINT(site)                                              \
+  do {                                                                   \
+    ::hybridgraph::Status _hg_fp = ::hybridgraph::FailPointCheck(site);  \
+    if (!_hg_fp.ok()) return _hg_fp;                                     \
+  } while (0)

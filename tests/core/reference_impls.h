@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -74,6 +75,36 @@ inline std::vector<uint32_t> ReferenceBfs(const EdgeListGraph& g,
     }
   }
   return depth;
+}
+
+/// Synchronous label propagation mirroring LpaProgram: superstep 0 only
+/// broadcasts, each later superstep every vertex adopts the in-neighbor label
+/// with the highest count (ties toward the smaller label); vertices with no
+/// in-messages keep their label. LPA is always-active, so like the engine the
+/// reference runs exactly `supersteps` supersteps instead of converging.
+inline std::vector<uint32_t> ReferenceLpa(const EdgeListGraph& g,
+                                          int supersteps) {
+  std::vector<uint32_t> label(g.num_vertices);
+  for (uint32_t v = 0; v < g.num_vertices; ++v) label[v] = v;
+  for (int step = 1; step < supersteps; ++step) {
+    // counts[v] maps label -> multiplicity among v's in-neighbors.
+    std::vector<std::map<uint32_t, uint32_t>> counts(g.num_vertices);
+    for (const auto& e : g.edges) ++counts[e.dst][label[e.src]];
+    std::vector<uint32_t> next = label;
+    for (uint32_t v = 0; v < g.num_vertices; ++v) {
+      uint32_t best_label = label[v];
+      uint32_t best_count = 0;
+      for (const auto& [l, c] : counts[v]) {
+        if (c > best_count || (c == best_count && l < best_label)) {
+          best_label = l;
+          best_count = c;
+        }
+      }
+      if (best_count > 0) next[v] = best_label;
+    }
+    label = std::move(next);
+  }
+  return label;
 }
 
 /// Min-label flooding over directed edges (the WccProgram semantics).

@@ -120,5 +120,89 @@ TEST_P(GroupedFuzzTest, RandomGroupsRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GroupedFuzzTest, ::testing::Values(1, 5, 42));
 
+TEST(FlatBatch, OversizedCountRejectedWithoutAllocating) {
+  // A huge declared count with a tiny body used to drive reserve(); it must
+  // come back as a Corruption status instead.
+  Buffer buf;
+  Encoder enc(&buf);
+  enc.PutVarint64(uint64_t{1} << 60);
+  enc.PutFixed32(7);
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> out;
+  Status st = FlatBatchCodec::Decode(buf.AsSlice(), 8, &out);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GroupedBatch, OversizedCountsRejectedWithoutAllocating) {
+  {
+    Buffer buf;
+    Encoder enc(&buf);
+    enc.PutVarint64(uint64_t{1} << 60);  // group count >> input size
+    std::vector<GroupedBatchCodec::Group> out;
+    EXPECT_EQ(GroupedBatchCodec::Decode(buf.AsSlice(), 8, &out).code(),
+              StatusCode::kCorruption);
+  }
+  {
+    Buffer buf;
+    Encoder enc(&buf);
+    enc.PutVarint64(1);                  // one group...
+    enc.PutFixed32(3);                   // dst
+    enc.PutVarint64(uint64_t{1} << 60);  // ...claiming 2^60 payloads
+    std::vector<GroupedBatchCodec::Group> out;
+    EXPECT_EQ(GroupedBatchCodec::Decode(buf.AsSlice(), 8, &out).code(),
+              StatusCode::kCorruption);
+  }
+}
+
+// Every truncation point and every single-byte corruption of a valid encoding
+// must either decode (possibly to different values — the formats carry no
+// checksum) or return an error Status; it must never crash or hang.
+TEST(CodecFuzz, TruncationsAndBitFlipsNeverCrash) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<GroupedBatchCodec::Group> groups;
+    const int n = 1 + rng.NextBounded(10);
+    for (int i = 0; i < n; ++i) {
+      GroupedBatchCodec::Group g;
+      g.dst = static_cast<uint32_t>(rng.Next());
+      const int k = rng.NextBounded(5);
+      for (int j = 0; j < k; ++j) g.payloads.push_back(Payload8(rng.Next()));
+      groups.push_back(std::move(g));
+    }
+    Buffer buf;
+    GroupedBatchCodec::Encode(groups, 8, &buf);
+
+    for (size_t cut = 0; cut < buf.size(); ++cut) {
+      std::vector<GroupedBatchCodec::Group> out;
+      Status st = GroupedBatchCodec::Decode(Slice(buf.data(), cut), 8, &out);
+      if (cut < buf.size() && !groups.empty()) {
+        // A strict prefix of a non-empty batch can never decode fully intact,
+        // but partial decodes that happen to parse are acceptable.
+        (void)st;
+      }
+    }
+    std::vector<uint8_t> bytes(buf.data(), buf.data() + buf.size());
+    for (int flip = 0; flip < 64; ++flip) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[rng.NextBounded(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBounded(8));
+      std::vector<GroupedBatchCodec::Group> out;
+      (void)GroupedBatchCodec::Decode(Slice(mutated), 8, &out);
+    }
+  }
+}
+
+TEST(CodecFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(77);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> junk(rng.NextBounded(64));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> flat;
+    (void)FlatBatchCodec::Decode(Slice(junk), 8, &flat);
+    std::vector<GroupedBatchCodec::Group> grouped;
+    (void)GroupedBatchCodec::Decode(Slice(junk), 8, &grouped);
+  }
+}
+
 }  // namespace
 }  // namespace hybridgraph

@@ -1,0 +1,192 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hybridgraph {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FailPointTest, UnarmedSiteIsOk) {
+  EXPECT_TRUE(FailPointCheck("never.armed").ok());
+  EXPECT_FALSE(FailPointRegistry::Instance().any_armed());
+}
+
+TEST_F(FailPointTest, ParseSingleEntry) {
+  std::vector<std::pair<std::string, FailPointSpec>> specs;
+  ASSERT_TRUE(ParseFailPointList("storage.write=error", &specs).ok());
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].first, "storage.write");
+  EXPECT_EQ(specs[0].second.action, FailPointAction::kError);
+  EXPECT_DOUBLE_EQ(specs[0].second.probability, 1.0);
+}
+
+TEST_F(FailPointTest, ParseFullGrammar) {
+  std::vector<std::pair<std::string, FailPointSpec>> specs;
+  ASSERT_TRUE(ParseFailPointList(
+                  "storage.write=error:p=0.25,seed=9,code=corruption;"
+                  "tcp.drop=error:max=2,code=net;"
+                  "spill.flush=delay:us=50;"
+                  "ckpt.write=crash:after=3",
+                  &specs)
+                  .ok());
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_DOUBLE_EQ(specs[0].second.probability, 0.25);
+  EXPECT_EQ(specs[0].second.seed, 9u);
+  EXPECT_EQ(specs[0].second.error_code, StatusCode::kCorruption);
+  EXPECT_EQ(specs[1].second.max_fires, 2u);
+  EXPECT_EQ(specs[1].second.error_code, StatusCode::kNetworkError);
+  EXPECT_EQ(specs[2].second.action, FailPointAction::kDelay);
+  EXPECT_EQ(specs[2].second.delay_us, 50u);
+  EXPECT_EQ(specs[3].second.action, FailPointAction::kCrash);
+  EXPECT_EQ(specs[3].second.crash_after_hits, 3u);
+}
+
+TEST_F(FailPointTest, ParseRejectsGarbage) {
+  std::vector<std::pair<std::string, FailPointSpec>> specs;
+  EXPECT_FALSE(ParseFailPointList("nosite", &specs).ok());
+  EXPECT_FALSE(ParseFailPointList("site=explode", &specs).ok());
+  EXPECT_FALSE(ParseFailPointList("site=error:p=two", &specs).ok());
+  EXPECT_FALSE(ParseFailPointList("site=error:p=1.5", &specs).ok());
+  EXPECT_FALSE(ParseFailPointList("site=error:code=weird", &specs).ok());
+  EXPECT_FALSE(ParseFailPointList("site=error:bogus=1", &specs).ok());
+  EXPECT_FALSE(ParseFailPointList("=error", &specs).ok());
+}
+
+TEST_F(FailPointTest, EmptyStringArmsNothing) {
+  std::vector<std::pair<std::string, FailPointSpec>> specs;
+  ASSERT_TRUE(ParseFailPointList("", &specs).ok());
+  EXPECT_TRUE(specs.empty());
+  ASSERT_TRUE(FailPointRegistry::Instance().ArmFromString("").ok());
+  EXPECT_FALSE(FailPointRegistry::Instance().any_armed());
+}
+
+TEST_F(FailPointTest, ErrorActionReturnsConfiguredCode) {
+  FailPointSpec spec;
+  spec.action = FailPointAction::kError;
+  spec.error_code = StatusCode::kNetworkError;
+  FailPointScope scope("site.a", spec);
+  Status st = FailPointCheck("site.a");
+  EXPECT_EQ(st.code(), StatusCode::kNetworkError);
+  EXPECT_TRUE(FailPointCheck("site.b").ok());  // other sites unaffected
+}
+
+TEST_F(FailPointTest, MaxFiresCapsInjections) {
+  FailPointSpec spec;
+  spec.max_fires = 3;
+  FailPointScope scope("site.max", spec);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) failures += !FailPointCheck("site.max").ok();
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(FailPointRegistry::Instance().hits("site.max"), 10u);
+  EXPECT_EQ(FailPointRegistry::Instance().fires("site.max"), 3u);
+}
+
+TEST_F(FailPointTest, ProbabilityScheduleIsDeterministic) {
+  FailPointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+  auto schedule = [&spec]() {
+    FailPointScope scope("site.p", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!FailPointCheck("site.p").ok());
+    return fired;
+  };
+  const auto a = schedule();
+  const auto b = schedule();  // re-arm restarts the identical stream
+  EXPECT_EQ(a, b);
+  int fires = 0;
+  for (bool f : a) fires += f;
+  EXPECT_GT(fires, 8);  // p=0.5 over 64 hits: wildly improbable to leave [9,55]
+  EXPECT_LT(fires, 56);
+
+  spec.seed = 99;  // a different seed must give a different schedule
+  FailPointScope scope("site.p", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 64; ++i) fired.push_back(!FailPointCheck("site.p").ok());
+  EXPECT_NE(a, fired);
+}
+
+TEST_F(FailPointTest, SameSeedDifferentSitesDiverge) {
+  FailPointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 7;
+  FailPointScope s1("site.one", spec);
+  FailPointScope s2("site.two", spec);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(!FailPointCheck("site.one").ok());
+    b.push_back(!FailPointCheck("site.two").ok());
+  }
+  EXPECT_NE(a, b);  // site name is mixed into the stream seed
+}
+
+TEST_F(FailPointTest, CrashFiresAfterNHits) {
+  FailPointSpec spec;
+  spec.action = FailPointAction::kCrash;
+  spec.crash_after_hits = 3;
+  FailPointScope scope("site.crash", spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(FailPointCheck("site.crash").ok()) << "hit " << i;
+  }
+  Status st = FailPointCheck("site.crash");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(IsInjectedCrash(st));
+  EXPECT_FALSE(IsInjectedCrash(Status::Internal("some other internal error")));
+  EXPECT_FALSE(IsInjectedCrash(Status::IoError("injected crash")));
+  EXPECT_FALSE(IsInjectedCrash(Status::OK()));
+}
+
+TEST_F(FailPointTest, DelayActionSucceeds) {
+  FailPointSpec spec;
+  spec.action = FailPointAction::kDelay;
+  spec.delay_us = 1;
+  FailPointScope scope("site.delay", spec);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(FailPointCheck("site.delay").ok());
+  EXPECT_EQ(FailPointRegistry::Instance().fires("site.delay"), 5u);
+}
+
+TEST_F(FailPointTest, ScopeDisarmsOnDestruction) {
+  {
+    FailPointScope scope("site.scoped=error");
+    ASSERT_TRUE(scope.status().ok());
+    EXPECT_FALSE(FailPointCheck("site.scoped").ok());
+  }
+  EXPECT_TRUE(FailPointCheck("site.scoped").ok());
+  EXPECT_FALSE(FailPointRegistry::Instance().any_armed());
+}
+
+TEST_F(FailPointTest, ScopeReportsParseError) {
+  FailPointScope scope("site.bad=frobnicate");
+  EXPECT_FALSE(scope.status().ok());
+  EXPECT_TRUE(FailPointCheck("site.bad").ok());  // nothing was armed
+}
+
+TEST_F(FailPointTest, TotalFiresInvariantUnderThreads) {
+  // With p=1 and max=10, exactly 10 of the 64 total hits fire no matter how
+  // the 8 threads interleave.
+  FailPointSpec spec;
+  spec.max_fires = 10;
+  FailPointScope scope("site.mt", spec);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&failures]() {
+      for (int i = 0; i < 8; ++i) {
+        if (!FailPointCheck("site.mt").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 10);
+  EXPECT_EQ(FailPointRegistry::Instance().hits("site.mt"), 64u);
+}
+
+}  // namespace
+}  // namespace hybridgraph

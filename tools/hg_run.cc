@@ -34,6 +34,10 @@ struct Options {
   bool source_set = false;
   bool memory_resident = false;
   bool trace = false;
+  bool tcp = false;
+  uint32_t tcp_timeout_ms = 5000;
+  uint32_t tcp_retries = 3;
+  std::string failpoints;
 };
 
 void Usage() {
@@ -52,6 +56,11 @@ void Usage() {
       "  --memory           memory-resident scenario (no modeled I/O)\n"
       "  --csv FILE         write per-superstep metrics as CSV\n"
       "  --trace            print the per-superstep table\n"
+      "  --tcp              run the frame protocol over loopback TCP\n"
+      "  --tcp-timeout MS   per-call deadline, TCP only          (default 5000)\n"
+      "  --tcp-retries N    retry attempts beyond the first      (default 3)\n"
+      "  --failpoints SPEC  arm fail-points, e.g. 'storage.write=error:p=0.01'\n"
+      "                     (also read from the HG_FAILPOINTS env var)\n"
       "datasets: livej wiki orkut twi fri uk (paper Table 4 scale models)\n");
 }
 
@@ -100,6 +109,13 @@ int RunJob(const Options& opt, const EdgeListGraph& graph, EngineMode mode,
   cfg.max_supersteps = opt.supersteps;
   cfg.memory_resident = opt.memory_resident;
   cfg.disk = opt.disk == "ssd" ? DiskProfile::Ssd() : DiskProfile::Hdd();
+  if (opt.tcp) cfg.transport = TransportKind::kTcp;
+  cfg.tcp_call_timeout_ms = opt.tcp_timeout_ms;
+  cfg.tcp_max_retries = opt.tcp_retries;
+  cfg.failpoints = opt.failpoints;
+  if (cfg.failpoints.empty()) {
+    if (const char* env = std::getenv("HG_FAILPOINTS")) cfg.failpoints = env;
+  }
 
   AlgoSpec spec;
   spec.kind = algo;
@@ -171,6 +187,14 @@ int main(int argc, char** argv) {
       opt.csv = next();
     } else if (arg == "--memory") {
       opt.memory_resident = true;
+    } else if (arg == "--tcp") {
+      opt.tcp = true;
+    } else if (arg == "--tcp-timeout") {
+      opt.tcp_timeout_ms = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--tcp-retries") {
+      opt.tcp_retries = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--failpoints") {
+      opt.failpoints = next();
     } else if (arg == "--trace") {
       opt.trace = true;
     } else if (arg == "--help" || arg == "-h") {
