@@ -8,11 +8,17 @@ set -eu
 BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DHG_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target hg_util_tests hg_net_tests hg_core_tests
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target hg_util_tests hg_net_tests hg_core_tests hg_io_tests
 
 export ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}"
 "$BUILD_DIR"/tests/hg_util_tests --gtest_filter='FailPoint*:Codec*:Buffer*'
 "$BUILD_DIR"/tests/hg_net_tests
 "$BUILD_DIR"/tests/hg_core_tests \
   --gtest_filter='FaultInjection*:DifferentialFuzz*:Recovery*:Checkpoint*'
-echo "ASan clean: codec fuzz + fault injection + transport + recovery tests ran leak/overflow-free"
+# The spill suite decodes deliberately truncated/bit-flipped run files and
+# streams merges through minimal buffers — the OOB-sensitive paths the
+# corruption fuzzers exist for.
+"$BUILD_DIR"/tests/hg_io_tests \
+  --gtest_filter='*Spill*:*MergeIterator*:*Corruption*'
+echo "ASan clean: codec fuzz + fault injection + transport + recovery + spill tests ran leak/overflow-free"

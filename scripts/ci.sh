@@ -11,6 +11,9 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "==> spill micro-benchmark (BENCH_spill.json)"
+./build/bench/bench_spill BENCH_spill.json
+
 echo "==> AddressSanitizer sweep"
 sh scripts/check_asan.sh build-asan
 

@@ -183,6 +183,10 @@ class Engine {
     uint64_t flushes = 0;
     double cpu_seconds = 0;
     uint64_t mem_highwater = 0;
+    // Streaming spill-merge observability (CollectPush drain).
+    uint64_t spill_buffer_peak = 0;    ///< run-buffer bytes held by the merge
+    uint64_t spill_resident_peak = 0;  ///< peak resident spill entries
+    uint64_t spill_combined = 0;       ///< combiner reductions (spill + merge)
     // I/O classification counters (bytes).
     IoBreakdown io;
 
@@ -216,6 +220,9 @@ class Engine {
                      const std::vector<uint8_t>& block_values);
   Status FlushStaging(Node& node, NodeId dst, bool force);
   void AddPending(Node& node, VertexId dst, const Message& m);
+  /// MessageSpill::CombineFn shim over P::Combine for raw encoded payloads
+  /// (spill_combining; only instantiated for combinable programs).
+  static void CombineRawMessages(uint8_t* acc, const uint8_t* other);
 
   // ------------------------------------------------------------- accounting
   void BeginSuperstepAccounting();
@@ -460,6 +467,12 @@ Status Engine<P>::BuildNodes(const EdgeListGraph& graph) {
         node.storage.get(), StringFormat("node%u/spill/a", i), kMsgSize);
     node.inbox_next.spill = std::make_unique<MessageSpill>(
         node.storage.get(), StringFormat("node%u/spill/b", i), kMsgSize);
+    if constexpr (P::kCombinable) {
+      if (config_.spill_combining) {
+        node.inbox_cur.spill->set_combiner(&Engine<P>::CombineRawMessages);
+        node.inbox_next.spill->set_combiner(&Engine<P>::CombineRawMessages);
+      }
+    }
 
     // pushM vertex cache: the B_i highest in-degree local vertices stay
     // memory-resident (MOCgraph's hot-aware placement).
@@ -634,6 +647,18 @@ Status Engine<P>::Load(const EdgeListGraph& graph) {
 // -------------------------------------------------------------- message flow
 
 template <typename P>
+void Engine<P>::CombineRawMessages(uint8_t* acc, const uint8_t* other) {
+  if constexpr (P::kCombinable) {
+    const Message a = PodCodec<Message>::Decode(acc);
+    const Message b = PodCodec<Message>::Decode(other);
+    PodCodec<Message>::Encode(P::Combine(a, b), acc);
+  } else {
+    (void)acc;
+    (void)other;
+  }
+}
+
+template <typename P>
 void Engine<P>::AddPending(Node& node, VertexId dst, const Message& m) {
   const uint32_t li = node.LocalIdx(dst);
   if constexpr (P::kCombinable) {
@@ -759,14 +784,26 @@ Status Engine<P>::CollectPush(Node& node) {
     AddPending(node, dst, m);
   }
   if (inbox.spill->num_runs() > 0) {
-    std::vector<SpillEntry> spilled;
-    HG_RETURN_IF_ERROR(inbox.spill->MergeReadAll(&spilled));
-    node.io.msg_spill_read += spilled.size() * kMsgRecordSize;
-    node.cpu_seconds +=
-        config_.cpu.per_spilled_message_s * static_cast<double>(spilled.size());
-    for (const auto& e : spilled) {
+    // Streaming k-way merge: never materializes the spilled volume. The
+    // drain's working set is the pending map plus num_runs ×
+    // spill_merge_buffer_bytes of run buffers.
+    HG_ASSIGN_OR_RETURN(auto it, inbox.spill->NewMergeIterator(
+                                     config_.spill_merge_buffer_bytes));
+    while (it->Valid()) {
+      const SpillEntry& e = it->entry();
       AddPending(node, e.dst, PodCodec<Message>::Decode(e.payload.data()));
+      HG_RETURN_IF_ERROR(it->Next());
     }
+    node.io.msg_spill_read += it->entries_read() * kMsgRecordSize;
+    node.cpu_seconds += config_.cpu.per_spilled_message_s *
+                        static_cast<double>(it->entries_read());
+    node.spill_buffer_peak =
+        std::max(node.spill_buffer_peak, it->buffer_bytes());
+    node.spill_resident_peak =
+        std::max(node.spill_resident_peak, it->peak_resident_entries());
+    node.spill_combined +=
+        inbox.spill->combined_at_spill() + it->merge_combined();
+    node.mem_highwater = std::max(node.mem_highwater, it->buffer_bytes());
     HG_RETURN_IF_ERROR(inbox.spill->Clear());
   }
   // pushM: online accumulators are this superstep's messages for cached
@@ -1085,6 +1122,9 @@ void Engine<P>::BeginSuperstepAccounting() {
     node.flushes = 0;
     node.cpu_seconds = 0;
     node.mem_highwater = 0;
+    node.spill_buffer_peak = 0;
+    node.spill_resident_peak = 0;
+    node.spill_combined = 0;
     node.io = IoBreakdown{};
     node.disk_snapshot = *node.storage->meter();
     node.net_snapshot = *transport_->meter(node.id);
@@ -1172,6 +1212,12 @@ void Engine<P>::EndSuperstepAccounting(EngineMode produce_mode, bool switched) {
 
     const uint64_t mem = ModeledMemoryBytes(node, produce_mode);
     m.memory_highwater_bytes += mem;
+
+    m.spill_merge_buffer_bytes =
+        std::max(m.spill_merge_buffer_bytes, node.spill_buffer_peak);
+    m.spill_peak_resident =
+        std::max(m.spill_peak_resident, node.spill_resident_peak);
+    m.spill_combined += node.spill_combined;
 
     uint64_t responding = 0;
     for (uint8_t r : node.responding_next) responding += r;
@@ -1507,6 +1553,13 @@ Status Engine<P>::RestoreCheckpoint(Slice data) {
     node.inbox_cur.total = 0;
     node.inbox_cur.spilled = 0;
     HG_RETURN_IF_ERROR(node.inbox_cur.spill->Clear());
+    // Also sweep the next-superstep spill: recovery may restore into storage
+    // that still holds a dead incarnation's runs (including unregistered
+    // orphans a mid-spill crash left behind); Clear() deletes by prefix.
+    node.inbox_next.mem.clear();
+    node.inbox_next.total = 0;
+    node.inbox_next.spilled = 0;
+    HG_RETURN_IF_ERROR(node.inbox_next.spill->Clear());
     uint64_t count;
     HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
     const bool unlimited =

@@ -25,6 +25,11 @@ Status JobConfig::Validate(const JobFacts& facts) const {
         "msg_buffer_per_node must be nonzero (B_i appears as a divisor in "
         "the Vblock derivation, Eq. 5/6)");
   }
+  if (spill_merge_buffer_bytes == 0) {
+    return Status::InvalidArgument(
+        "spill_merge_buffer_bytes must be nonzero (the streaming spill merge "
+        "needs at least one record of buffer per run)");
+  }
   if (max_supersteps < 0) {
     return Status::InvalidArgument("max_supersteps must be >= 0");
   }

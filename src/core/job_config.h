@@ -82,6 +82,20 @@ struct JobConfig {
   /// Appendix E). Scaled down with the datasets like the thresholds.
   double flush_overhead_s = 20e-6;
 
+  /// Per-run buffer of the streaming spill merge (bytes). The push-mode
+  /// inbox drain holds at most B_i messages plus
+  /// num_runs × spill_merge_buffer_bytes of run data in memory — never the
+  /// whole spilled volume. Rounded down to a whole number of spill records
+  /// (min one record per run). Must be nonzero.
+  uint64_t spill_merge_buffer_bytes = 64 * 1024;
+
+  /// Apply the program combiner inside the receiver-side spill (at run-write
+  /// time and during the streaming merge), so combined runs shrink on disk —
+  /// Giraph-style combining. Only effective for combinable programs. Off by
+  /// default: the paper's push baseline spills raw messages, and the modeled
+  /// spill I/O bytes of the shipped benches depend on that.
+  bool spill_combining = false;
+
   /// Vblocks per node; 0 = derive from Eq. (5)/(6) using msg_buffer_per_node.
   uint32_t vblocks_per_node = 0;
 

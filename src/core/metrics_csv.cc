@@ -13,12 +13,13 @@ std::string SuperstepMetricsCsv(const JobStats& stats) {
       "io_spill_read,io_eblock,io_fragment_aux,io_vrr,io_other,io_total,"
       "net_bytes,net_frames,net_retries,net_timeouts,net_reconnects,"
       "cpu_s,io_s,net_s,blocking_s,superstep_s,"
-      "memory_bytes,aggregate,q_t\n";
+      "memory_bytes,spill_buffer_bytes,spill_resident_peak,spill_combined,"
+      "aggregate,q_t\n";
   for (const auto& s : stats.supersteps) {
     out += StringFormat(
         "%d,%s,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
         "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,"
-        "%.9g,%llu,%.9g,%.9g\n",
+        "%.9g,%llu,%llu,%llu,%llu,%.9g,%.9g\n",
         s.superstep, EngineModeName(s.mode), s.switched ? 1 : 0,
         (unsigned long long)s.active_vertices,
         (unsigned long long)s.responding_vertices,
@@ -39,7 +40,10 @@ std::string SuperstepMetricsCsv(const JobStats& stats) {
         (unsigned long long)s.net_timeouts,
         (unsigned long long)s.net_reconnects, s.cpu_seconds, s.io_seconds,
         s.net_seconds, s.blocking_seconds, s.superstep_seconds,
-        (unsigned long long)s.memory_highwater_bytes, s.aggregate, s.q_t);
+        (unsigned long long)s.memory_highwater_bytes,
+        (unsigned long long)s.spill_merge_buffer_bytes,
+        (unsigned long long)s.spill_peak_resident,
+        (unsigned long long)s.spill_combined, s.aggregate, s.q_t);
   }
   return out;
 }

@@ -56,6 +56,13 @@ struct SuperstepMetrics {
 
   uint64_t memory_highwater_bytes = 0;
 
+  /// Streaming spill-merge observability (push/hybrid only; zero elsewhere).
+  uint64_t spill_merge_buffer_bytes = 0;  ///< max over nodes: run buffers held
+  uint64_t spill_peak_resident = 0;       ///< max over nodes: peak resident
+                                          ///< spill entries during the merge
+  uint64_t spill_combined = 0;            ///< sum: combiner reductions in the
+                                          ///< spill path (spill + merge time)
+
   /// Transport fault recovery this superstep (nonzero only on TcpTransport
   /// under injected or real faults; see Transport::fault_counters()).
   uint64_t net_retries = 0;

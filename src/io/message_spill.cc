@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace hybridgraph {
+
+namespace {
+
+constexpr size_t kRunHeaderBytes = 8;  // fixed64 entry count
+
+/// Decodes the little-endian destination id at the head of a record. The
+/// caller guarantees at least 4 readable bytes (chunks are record-aligned).
+uint32_t LoadDstLE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
 
 MessageSpill::MessageSpill(StorageService* storage, std::string key_prefix,
                            size_t payload_size)
@@ -22,6 +37,22 @@ Status MessageSpill::SpillRun(std::vector<SpillEntry> entries) {
   HG_FAIL_POINT("spill.flush");
   std::stable_sort(entries.begin(), entries.end(),
                    [](const SpillEntry& a, const SpillEntry& b) { return a.dst < b.dst; });
+  uint64_t combined = 0;
+  if (combiner_ != nullptr) {
+    // Fold equal destinations into the first occurrence, in spill order
+    // (the vector is stably sorted, so the fold order is deterministic).
+    size_t w = 0;
+    for (size_t r = 1; r < entries.size(); ++r) {
+      if (entries[r].dst == entries[w].dst) {
+        combiner_(entries[w].payload.data(), entries[r].payload.data());
+        ++combined;
+      } else {
+        ++w;
+        if (w != r) entries[w] = std::move(entries[r]);
+      }
+    }
+    entries.resize(w + 1);
+  }
   Buffer buf;
   Encoder enc(&buf);
   enc.PutFixed64(entries.size());
@@ -31,89 +62,188 @@ Status MessageSpill::SpillRun(std::vector<SpillEntry> entries) {
     enc.PutFixed32(e.dst);
     enc.PutRaw(e.payload.data(), e.payload.size());
   }
+  // Write-then-register: the run only becomes visible (num_runs_) after the
+  // blob is durably written. On any failure in between, delete the key so a
+  // half-written run is never leaked (Clear() would not know about it).
+  const std::string key = RunKey(num_runs_);
+  Status st = storage_->Write(key, buf.AsSlice(), IoClass::kRandWrite);
   // Random write: destination-vertex order has no locality on disk.
-  HG_RETURN_IF_ERROR(
-      storage_->Write(RunKey(num_runs_), buf.AsSlice(), IoClass::kRandWrite));
-  HG_RETURN_IF_ERROR(storage_->Sync(RunKey(num_runs_)));
+  if (st.ok()) st = storage_->Sync(key);
+  if (!st.ok()) {
+    (void)storage_->Delete(key);  // best-effort; Clear() sweeps the prefix too
+    return st;
+  }
   ++num_runs_;
   num_messages_ += entries.size();
   bytes_written_ += buf.size();
+  combined_at_spill_ += combined;
   return Status::OK();
 }
 
-namespace {
+// ------------------------------------------------------------ MergeIterator
 
-/// Decoded view of one run during the merge.
-struct RunCursor {
-  std::vector<uint8_t> data;
-  size_t pos = 0;
-  uint64_t remaining = 0;
-  uint32_t dst = 0;
-
-  Status Init(size_t payload_size) {
-    Decoder dec{Slice(data)};
-    HG_RETURN_IF_ERROR(dec.GetFixed64(&remaining));
-    pos = dec.position();
-    return Advance(payload_size);
+MessageSpill::MergeIterator::MergeIterator(StorageService* storage,
+                                           const MessageSpill* spill,
+                                           uint64_t buffer_bytes_per_run)
+    : storage_(storage),
+      payload_size_(spill->payload_size_),
+      record_size_(4 + spill->payload_size_),
+      combiner_(spill->combiner_) {
+  // At least one whole record per run, and chunks aligned to record size so
+  // a refill never splits a record across reads.
+  const uint64_t per_chunk =
+      std::max<uint64_t>(1, buffer_bytes_per_run / record_size_);
+  chunk_bytes_ = per_chunk * record_size_;
+  runs_.resize(spill->num_runs_);
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    runs_[i].key = spill->RunKey(i);
   }
+  buffer_bytes_ = static_cast<uint64_t>(runs_.size()) * chunk_bytes_;
+}
 
-  // Loads the next head destination; remaining counts entries not yet emitted.
-  Status Advance(size_t payload_size) {
-    if (remaining == 0) return Status::OK();
-    Decoder dec(Slice(data.data() + pos, data.size() - pos));
-    HG_RETURN_IF_ERROR(dec.GetFixed32(&dst));
-    pos += dec.position();
-    (void)payload_size;
+Status MessageSpill::MergeIterator::Open() {
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    RunCursor& rc = runs_[i];
+    rc.file_size = storage_->SizeOf(rc.key);
+    if (rc.file_size < kRunHeaderBytes) {
+      return Status::Corruption(StringFormat(
+          "spill run %s truncated: %llu bytes, header needs %zu", rc.key.c_str(),
+          static_cast<unsigned long long>(rc.file_size), kRunHeaderBytes));
+    }
+    std::vector<uint8_t> header;
+    HG_RETURN_IF_ERROR(storage_->ReadAt(rc.key, 0, kRunHeaderBytes, &header,
+                                        IoClass::kSeqRead));
+    if (header.size() != kRunHeaderBytes) {
+      return Status::Corruption("spill run header short read: " + rc.key);
+    }
+    Decoder dec{Slice(header.data(), header.size())};
+    HG_RETURN_IF_ERROR(dec.GetFixed64(&rc.disk_entries));
+    // Shape check BEFORE decoding anything: the blob must hold exactly
+    // entry_count records. A bit-flipped count or a truncated blob fails
+    // here instead of reading out of bounds during the merge.
+    const uint64_t body = rc.file_size - kRunHeaderBytes;
+    if (rc.disk_entries > body / record_size_ ||
+        rc.disk_entries * record_size_ != body) {
+      return Status::Corruption(StringFormat(
+          "spill run %s corrupt: %llu entries × %zu bytes != %llu body bytes",
+          rc.key.c_str(), static_cast<unsigned long long>(rc.disk_entries),
+          record_size_, static_cast<unsigned long long>(body)));
+    }
+    rc.file_pos = kRunHeaderBytes;
+    if (rc.disk_entries > 0) {
+      HG_RETURN_IF_ERROR(Refill(&rc));
+      heap_.emplace(rc.head_dst, i);
+    }
+  }
+  return PrimeNext();
+}
+
+Status MessageSpill::MergeIterator::Refill(RunCursor* rc) {
+  HG_FAIL_POINT("spill.merge");
+  const uint64_t want =
+      std::min<uint64_t>(chunk_bytes_, rc->disk_entries * record_size_);
+  HG_RETURN_IF_ERROR(
+      storage_->ReadAt(rc->key, rc->file_pos, want, &rc->buf, IoClass::kSeqRead));
+  if (rc->buf.size() != want) {
+    return Status::Corruption("spill run shrank mid-merge: " + rc->key);
+  }
+  rc->file_pos += want;
+  const uint64_t loaded = want / record_size_;
+  rc->disk_entries -= loaded;
+  rc->buf_pos = 0;
+  rc->head_dst = LoadDstLE(rc->buf.data());
+  rc->has_head = true;
+  resident_entries_ += loaded;
+  peak_resident_entries_ = std::max(peak_resident_entries_, resident_entries_ + 1);
+  return Status::OK();
+}
+
+Status MessageSpill::MergeIterator::ConsumeHead(size_t ri) {
+  RunCursor& rc = runs_[ri];
+  rc.buf_pos += record_size_;
+  ++entries_read_;
+  --resident_entries_;
+  if (rc.buf_pos == rc.buf.size()) {
+    if (rc.disk_entries == 0) {
+      rc.has_head = false;
+      rc.buf.clear();
+      rc.buf.shrink_to_fit();
+      return Status::OK();
+    }
+    HG_RETURN_IF_ERROR(Refill(&rc));
+  } else {
+    rc.head_dst = LoadDstLE(rc.buf.data() + rc.buf_pos);
+  }
+  heap_.emplace(rc.head_dst, ri);
+  return Status::OK();
+}
+
+Status MessageSpill::MergeIterator::PrimeNext() {
+  if (heap_.empty()) {
+    valid_ = false;
     return Status::OK();
   }
-};
+  const auto [dst, ri] = heap_.top();
+  heap_.pop();
+  RunCursor& rc = runs_[ri];
+  current_.dst = dst;
+  current_.payload.assign(rc.buf.data() + rc.buf_pos + 4,
+                          rc.buf.data() + rc.buf_pos + record_size_);
+  HG_RETURN_IF_ERROR(ConsumeHead(ri));
+  if (combiner_ != nullptr) {
+    // Fold every remaining entry for this destination into the current one.
+    // The heap always surfaces the minimal (dst, run) pair, so the fold
+    // order — run by run, spill order within a run — is deterministic.
+    while (!heap_.empty() && heap_.top().first == current_.dst) {
+      const size_t rj = heap_.top().second;
+      heap_.pop();
+      RunCursor& rc2 = runs_[rj];
+      combiner_(current_.payload.data(), rc2.buf.data() + rc2.buf_pos + 4);
+      ++merge_combined_;
+      HG_RETURN_IF_ERROR(ConsumeHead(rj));
+    }
+  }
+  ++entries_emitted_;
+  valid_ = true;
+  peak_resident_entries_ = std::max(peak_resident_entries_, resident_entries_ + 1);
+  return Status::OK();
+}
 
-}  // namespace
+Status MessageSpill::MergeIterator::Next() {
+  if (!valid_) return Status::FailedPrecondition("merge iterator exhausted");
+  return PrimeNext();
+}
+
+Result<std::unique_ptr<MessageSpill::MergeIterator>>
+MessageSpill::NewMergeIterator(uint64_t buffer_bytes_per_run) {
+  std::unique_ptr<MergeIterator> it(
+      new MergeIterator(storage_, this, buffer_bytes_per_run));
+  HG_RETURN_IF_ERROR(it->Open());
+  return it;
+}
 
 Status MessageSpill::MergeReadAll(std::vector<SpillEntry>* out) {
   if (num_runs_ == 0) return Status::OK();
-  std::vector<RunCursor> runs(num_runs_);
-  for (size_t i = 0; i < num_runs_; ++i) {
-    // Runs were written contiguously; merge scans them sequentially.
-    HG_RETURN_IF_ERROR(
-        storage_->Read(RunKey(i), &runs[i].data, IoClass::kSeqRead));
-    HG_RETURN_IF_ERROR(runs[i].Init(payload_size_));
-  }
-
-  using HeapItem = std::pair<uint32_t, size_t>;  // (dst, run index)
-  auto cmp = [](const HeapItem& a, const HeapItem& b) { return a.first > b.first; };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(cmp);
-  for (size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i].remaining > 0) heap.emplace(runs[i].dst, i);
-  }
-
+  HG_ASSIGN_OR_RETURN(auto it, NewMergeIterator(kDefaultMergeBufferBytes));
   out->reserve(out->size() + num_messages_);
-  while (!heap.empty()) {
-    auto [dst, ri] = heap.top();
-    heap.pop();
-    RunCursor& rc = runs[ri];
-    SpillEntry e;
-    e.dst = dst;
-    e.payload.assign(rc.data.begin() + static_cast<ptrdiff_t>(rc.pos),
-                     rc.data.begin() + static_cast<ptrdiff_t>(rc.pos + payload_size_));
-    rc.pos += payload_size_;
-    --rc.remaining;
-    out->push_back(std::move(e));
-    if (rc.remaining > 0) {
-      HG_RETURN_IF_ERROR(rc.Advance(payload_size_));
-      heap.emplace(rc.dst, ri);
-    }
+  while (it->Valid()) {
+    out->push_back(it->entry());
+    HG_RETURN_IF_ERROR(it->Next());
   }
   return Status::OK();
 }
 
 Status MessageSpill::Clear() {
-  for (size_t i = 0; i < num_runs_; ++i) {
-    HG_RETURN_IF_ERROR(storage_->Delete(RunKey(i)));
+  // Prefix sweep rather than 0..num_runs_: also collects any orphan blob a
+  // crash left between write and registration (e.g. after recovery restores
+  // into storage that still holds a dead incarnation's runs).
+  for (const auto& key : storage_->ListKeys(key_prefix_ + "/")) {
+    HG_RETURN_IF_ERROR(storage_->Delete(key));
   }
   num_runs_ = 0;
   num_messages_ = 0;
   bytes_written_ = 0;
+  combined_at_spill_ = 0;
   return Status::OK();
 }
 

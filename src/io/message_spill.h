@@ -8,9 +8,23 @@
 // vertices, caused by writing data randomly" cost the paper attributes to
 // push — while merge reads are sequential (the 2·IO(M_disk) term of Eq. 7
 // splits into IO(M_disk)/s_rw + IO(M_disk)/s_sr in Eq. 11).
+//
+// The merge is STREAMING: each run is read through a fixed-size buffer
+// (MergeIterator), so the drain holds at most
+//   num_runs × buffer_bytes_per_run
+// of run data in memory at any moment, never the full spilled volume — the
+// discipline that keeps push's memory at B_i + merge buffers instead of
+// O(M_disk) (GraphD/PartitionedVC-style external-memory access).
+//
+// Run format (unchanged from the materializing implementation):
+//   fixed64 entry_count | entry_count × (fixed32 dst | payload_size bytes)
+// Every run is validated against this shape before any byte of it is
+// decoded; a truncated or resized run yields Status::Corruption, never an
+// out-of-bounds read.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -27,29 +41,140 @@ struct SpillEntry {
   std::vector<uint8_t> payload;
 };
 
-/// \brief Writes sorted runs of messages and merge-reads them back.
+/// \brief Writes sorted runs of messages and streams them back merged.
 class MessageSpill {
  public:
+  /// In-place payload combiner: folds `other` into `acc` (both
+  /// payload_size bytes). When set, messages for the same destination are
+  /// combined while a run is written AND while runs are merged, so combined
+  /// runs shrink on disk (Giraph-style combining).
+  using CombineFn = void (*)(uint8_t* acc, const uint8_t* other);
+
+  /// Per-run merge buffer used when no explicit size is given
+  /// (JobConfig::spill_merge_buffer_bytes is the engine-facing knob).
+  static constexpr uint64_t kDefaultMergeBufferBytes = 64 * 1024;
+
   /// \param storage metered storage of the owning node.
   /// \param key_prefix unique per (node, superstep parity) to avoid clashes.
   /// \param payload_size fixed serialized size of one message value.
   MessageSpill(StorageService* storage, std::string key_prefix, size_t payload_size);
 
-  /// Sorts `entries` by destination and writes them as one run.
+  /// Arms the combiner (nullptr disarms). Must be set before the first
+  /// SpillRun of a batch for runs to shrink on disk.
+  void set_combiner(CombineFn fn) { combiner_ = fn; }
+
+  /// Sorts `entries` by destination (combining equal destinations when a
+  /// combiner is armed) and writes them as one run. Cleanup-safe: if the
+  /// write or sync fails, the partially written run blob is deleted before
+  /// the error is returned, so no orphaned `<prefix>/run-*` key survives.
   Status SpillRun(std::vector<SpillEntry> entries);
 
   /// Number of runs written so far.
   size_t num_runs() const { return num_runs_; }
-  /// Total messages spilled so far.
+  /// Entries stored across all runs (post spill-time combining; equals the
+  /// number of spilled messages when no combiner is armed).
   uint64_t num_messages() const { return num_messages_; }
   /// Total bytes written to disk by this spill.
   uint64_t bytes_written() const { return bytes_written_; }
+  /// Messages folded away by the combiner at SpillRun time.
+  uint64_t combined_at_spill() const { return combined_at_spill_; }
 
-  /// K-way merges all runs and appends every entry, grouped by ascending
-  /// destination, to `*out`. Reads are metered sequential.
+  /// \brief Bounded-memory k-way merge over the spilled runs.
+  ///
+  /// Emits entries grouped by ascending destination; ties across runs are
+  /// broken by run index, and within a run by spill position, so the merged
+  /// order is a pure function of the spill order (deterministic across
+  /// thread counts and independent of heap internals). Reads are metered
+  /// sequential and flow through fixed per-run buffers; resident run data
+  /// never exceeds buffer_bytes() plus the one entry currently exposed.
+  class MergeIterator {
+   public:
+    /// True while entry() points at a merged entry.
+    bool Valid() const { return valid_; }
+    /// Current merged entry (combined across runs when a combiner is armed).
+    const SpillEntry& entry() const { return current_; }
+    /// Advances to the next merged entry; Valid() turns false at the end.
+    Status Next();
+
+    /// Entries decoded from disk so far (= bytes consumed / record size).
+    uint64_t entries_read() const { return entries_read_; }
+    /// Entries emitted through entry() so far (≤ entries_read when merging
+    /// with a combiner).
+    uint64_t entries_emitted() const { return entries_emitted_; }
+    /// Messages folded away by the combiner during this merge.
+    uint64_t merge_combined() const { return merge_combined_; }
+    /// Fixed buffer allocation of this merge: num_runs × per-run chunk.
+    uint64_t buffer_bytes() const { return buffer_bytes_; }
+    /// Peak number of spill entries resident in memory at once (buffered
+    /// run data plus the current entry). Bounded by
+    /// num_runs × (per-run buffer / record size) + 1.
+    uint64_t peak_resident_entries() const { return peak_resident_entries_; }
+
+   private:
+    friend class MessageSpill;
+
+    /// Streaming view of one run: a window of `chunk_bytes_` over the blob.
+    struct RunCursor {
+      std::string key;
+      uint64_t file_size = 0;   ///< validated blob size
+      uint64_t file_pos = 0;    ///< next byte to read from storage
+      uint64_t disk_entries = 0;///< entries not yet loaded into the buffer
+      std::vector<uint8_t> buf; ///< current chunk
+      size_t buf_pos = 0;       ///< head record offset within buf
+      uint32_t head_dst = 0;    ///< decoded destination of the head record
+      bool has_head = false;
+    };
+
+    MergeIterator(StorageService* storage, const MessageSpill* spill,
+                  uint64_t buffer_bytes_per_run);
+    Status Open();
+    Status Refill(RunCursor* rc);
+    /// Consumes the head record of run `ri` (refilling as needed) and
+    /// re-inserts the run's next head into the heap.
+    Status ConsumeHead(size_t ri);
+    /// Loads the next merged entry into current_.
+    Status PrimeNext();
+
+    StorageService* storage_;
+    size_t payload_size_;
+    size_t record_size_;
+    CombineFn combiner_;
+    uint64_t chunk_bytes_ = 0;
+    uint64_t buffer_bytes_ = 0;
+
+    std::vector<RunCursor> runs_;
+    // Min-heap on (dst, run index): the pair's lexicographic order IS the
+    // determinism guarantee — equal destinations always drain in run order.
+    std::priority_queue<std::pair<uint32_t, size_t>,
+                        std::vector<std::pair<uint32_t, size_t>>,
+                        std::greater<>>
+        heap_;
+
+    SpillEntry current_;
+    bool valid_ = false;
+    uint64_t entries_read_ = 0;
+    uint64_t entries_emitted_ = 0;
+    uint64_t merge_combined_ = 0;
+    uint64_t resident_entries_ = 0;
+    uint64_t peak_resident_entries_ = 0;
+  };
+
+  /// Opens a streaming merge over all runs written so far. Every run is
+  /// shape-validated up front (header count vs. blob size), so a truncated
+  /// or bit-flipped run surfaces as Status::Corruption here or from Next(),
+  /// never as an out-of-bounds read.
+  Result<std::unique_ptr<MergeIterator>> NewMergeIterator(
+      uint64_t buffer_bytes_per_run);
+
+  /// Convenience wrapper: streams the merge (bounded buffers) and appends
+  /// every entry, grouped by ascending destination, to `*out`. Output is
+  /// materialized — prefer NewMergeIterator on memory-bounded paths (the
+  /// engine's inbox drain); this remains for checkpoints and tests.
   Status MergeReadAll(std::vector<SpillEntry>* out);
 
-  /// Deletes all run blobs and resets state for reuse.
+  /// Deletes every blob under the key prefix — registered runs AND any
+  /// orphan left by an earlier crash between write and registration — and
+  /// resets state for reuse.
   Status Clear();
 
  private:
@@ -58,9 +183,11 @@ class MessageSpill {
   StorageService* storage_;
   std::string key_prefix_;
   size_t payload_size_;
+  CombineFn combiner_ = nullptr;
   size_t num_runs_ = 0;
   uint64_t num_messages_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t combined_at_spill_ = 0;
 };
 
 }  // namespace hybridgraph

@@ -58,6 +58,21 @@ void StorageService::DropFromCache(const std::string& key) {
   cache_map_.erase(it);
 }
 
+Status StorageService::ReadAt(const std::string& key, uint64_t offset,
+                              uint64_t len, std::vector<uint8_t>* out,
+                              IoClass cls) {
+  // The mutex is recursive, so holding it across SizeOf + ReadRange makes
+  // the clamp atomic with the read even under concurrent writers.
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  const uint64_t size = SizeOf(key);
+  if (offset >= size) {
+    if (!Exists(key)) return Status::NotFound("no blob: " + key);
+    out->clear();
+    return Status::OK();
+  }
+  return ReadRange(key, offset, std::min(len, size - offset), out, cls);
+}
+
 void StorageService::MeterRead(const std::string& key, uint64_t blob_size,
                                uint64_t bytes, IoClass cls) {
   if (CacheLookupOrInsert(key, blob_size)) {

@@ -56,6 +56,15 @@ class StorageService {
   virtual Status ReadRange(const std::string& key, uint64_t offset, uint64_t len,
                            std::vector<uint8_t>* out, IoClass cls) = 0;
 
+  /// Streaming read: like ReadRange, but `len` is clamped to the blob end,
+  /// so the last chunk of a sequential scan comes back short instead of
+  /// failing OutOfRange (reading at or past the end yields an empty `*out`).
+  /// Page-cache metering is identical to ReadRange — chunked scans of a
+  /// cache-resident blob are charged at RAM cost. This is the entry point
+  /// for chunk-at-a-time consumers (the bounded-memory spill merge).
+  Status ReadAt(const std::string& key, uint64_t offset, uint64_t len,
+                std::vector<uint8_t>* out, IoClass cls);
+
   /// Overwrites `data.size()` bytes at `offset` within an existing blob.
   virtual Status WriteRange(const std::string& key, uint64_t offset, Slice data,
                             IoClass cls) = 0;

@@ -6,6 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
@@ -163,6 +167,92 @@ TEST_F(FaultInjectionTest, CrashRecoveryCrossesThreadCounts) {
   for (size_t v = 0; v < got.size(); ++v) {
     ASSERT_NEAR(got[v], expected[v], 1e-12) << "v=" << v;
   }
+}
+
+std::vector<std::string> SpillFilesUnder(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (path.find("/spill/") != std::string::npos) files.push_back(path);
+  }
+  return files;
+}
+
+TEST_F(FaultInjectionTest, RecoverySweepsOrphanedSpillRuns) {
+  // A node dying mid-spill leaves run files on real disk that its successor
+  // has no record of: runs registered before the crash, plus (in the torn
+  // case) a blob written but never registered. RestoreCheckpoint must sweep
+  // every spill prefix so no stray node*/spill/* file survives recovery.
+  const auto g = FaultGraph();
+  const std::string dir =
+      ::testing::TempDir() + "/hg_spill_orphans_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+  JobConfig cfg = BaseConfig(EngineMode::kPush);
+  cfg.use_file_storage = true;
+  cfg.storage_dir = dir;
+
+  Engine<PageRankProgram> fault_free(BaseConfig(EngineMode::kPush),
+                                     PageRankProgram{});
+  ASSERT_TRUE(fault_free.Load(g).ok());
+  ASSERT_TRUE(fault_free.Run().ok());
+  const auto expected = fault_free.GatherValues().ValueOrDie();
+
+  Engine<PageRankProgram> victim(cfg, PageRankProgram{});
+  ASSERT_TRUE(victim.Load(g).ok());
+  ASSERT_TRUE(victim.RunSuperstep().ok());
+  ASSERT_TRUE(victim.RunSuperstep().ok());
+  Buffer image;
+  ASSERT_TRUE(victim.WriteCheckpoint(&image).ok());
+  {
+    // Two spill syncs land, then the node dies mid-superstep: the first two
+    // runs of the crashed superstep stay registered on disk while the
+    // in-memory record of them is lost with the process.
+    FailPointScope fp("storage.sync=crash:after=2,max=1");
+    ASSERT_TRUE(fp.status().ok());
+    Status st = victim.RunSuperstep();
+    ASSERT_FALSE(st.ok());
+    ASSERT_TRUE(IsInjectedCrash(st)) << st.message();
+  }
+  // Torn variant: a blob written right before the death, never registered.
+  {
+    const std::string stray =
+        dir + "/node0/node0/spill/b/run-000099";
+    std::filesystem::create_directories(
+        std::filesystem::path(stray).parent_path());
+    std::ofstream f(stray, std::ios::binary);
+    const char junk[12] = {1, 0};
+    f.write(junk, sizeof junk);
+    ASSERT_TRUE(f.good());
+  }
+  ASSERT_FALSE(SpillFilesUnder(dir).empty());
+
+  // Successor incarnation over the same storage: restore must sweep both
+  // inbox spill prefixes before re-spilling the checkpointed inbox.
+  Engine<PageRankProgram> recovered(cfg, PageRankProgram{});
+  ASSERT_TRUE(recovered.Load(g).ok());
+  ASSERT_TRUE(recovered.RestoreCheckpoint(image.AsSlice()).ok());
+  for (const std::string& f : SpillFilesUnder(dir)) {
+    // Only the restored inbox's own re-spilled overflow may exist: one run
+    // per node, in the current (a) prefix, freshly registered. Every file of
+    // the dead incarnation — crashed-superstep runs, the planted stray — is
+    // gone.
+    EXPECT_NE(f.find("/spill/a/run-000000"), std::string::npos)
+        << "stray spill file survived recovery: " << f;
+  }
+
+  // And the recovered run still converges to the fault-free fixpoint.
+  while (recovered.superstep() < cfg.max_supersteps && !recovered.converged()) {
+    ASSERT_TRUE(recovered.RunSuperstep().ok());
+  }
+  const auto got = recovered.GatherValues().ValueOrDie();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-12) << "v=" << v;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(FaultInjectionTest, TcpDropsAreRetriedAndCounted) {

@@ -50,18 +50,29 @@ TEST(MetricsCsv, ValuesMatchStats) {
   const std::string csv = SuperstepMetricsCsv(stats);
   const auto lines = SplitString(TrimString(csv), '\n');
   const auto header = SplitString(lines[0], ',');
-  size_t msgs_col = 0, io_col = 0;
+  size_t msgs_col = 0, io_col = 0, buf_col = 0, res_col = 0, com_col = 0;
   for (size_t c = 0; c < header.size(); ++c) {
     if (header[c] == "messages") msgs_col = c;
     if (header[c] == "io_total") io_col = c;
+    if (header[c] == "spill_buffer_bytes") buf_col = c;
+    if (header[c] == "spill_resident_peak") res_col = c;
+    if (header[c] == "spill_combined") com_col = c;
   }
   ASSERT_GT(msgs_col, 0u);
   ASSERT_GT(io_col, 0u);
+  ASSERT_GT(buf_col, 0u);
+  ASSERT_GT(res_col, 0u);
+  ASSERT_GT(com_col, 0u);
   for (size_t i = 0; i < stats.supersteps.size(); ++i) {
     const auto row = SplitString(lines[i + 1], ',');
     EXPECT_EQ(std::stoull(row[msgs_col]),
               stats.supersteps[i].messages_produced);
     EXPECT_EQ(std::stoull(row[io_col]), stats.supersteps[i].io.Total());
+    EXPECT_EQ(std::stoull(row[buf_col]),
+              stats.supersteps[i].spill_merge_buffer_bytes);
+    EXPECT_EQ(std::stoull(row[res_col]),
+              stats.supersteps[i].spill_peak_resident);
+    EXPECT_EQ(std::stoull(row[com_col]), stats.supersteps[i].spill_combined);
   }
 }
 

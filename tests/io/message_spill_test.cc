@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace hybridgraph {
@@ -135,6 +139,422 @@ TEST_P(SpillFuzzTest, RandomRunsMergeSorted) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpillFuzzTest, ::testing::Values(1, 7, 21, 99));
+
+// ---------------------------------------------------------------- streaming
+
+// Reference merge semantics: a stable sort by destination of the runs
+// concatenated in spill order. This is what the old materializing
+// implementation produced and what the streaming (dst, run index) heap must
+// reproduce bit-for-bit.
+std::vector<SpillEntry> ReferenceMerge(std::vector<SpillEntry> concatenated) {
+  std::stable_sort(
+      concatenated.begin(), concatenated.end(),
+      [](const SpillEntry& a, const SpillEntry& b) { return a.dst < b.dst; });
+  return concatenated;
+}
+
+std::vector<uint8_t> WidePayload(Rng* rng, size_t n) {
+  std::vector<uint8_t> p(n);
+  for (auto& b : p) b = static_cast<uint8_t>(rng->NextBounded(256));
+  return p;
+}
+
+class StreamingDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingDifferentialTest, StreamingEqualsMaterializingReference) {
+  Rng rng(GetParam());
+  constexpr size_t kPayload = 12;
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", kPayload);
+  // Build random runs, tracking what the reference (stable sort of the
+  // concatenation) must produce. Spill order inside a run matters: SpillRun
+  // stable-sorts, so pre-sorting the copy mirrors it.
+  std::vector<SpillEntry> concatenated;
+  const int runs = 2 + static_cast<int>(rng.NextBounded(5));
+  for (int r = 0; r < runs; ++r) {
+    std::vector<SpillEntry> run;
+    const int n = 1 + static_cast<int>(rng.NextBounded(300));
+    for (int i = 0; i < n; ++i) {
+      run.push_back({static_cast<uint32_t>(rng.NextBounded(48)),
+                     WidePayload(&rng, kPayload)});
+    }
+    std::vector<SpillEntry> copy = run;
+    std::stable_sort(
+        copy.begin(), copy.end(),
+        [](const SpillEntry& a, const SpillEntry& b) { return a.dst < b.dst; });
+    for (auto& e : copy) concatenated.push_back(std::move(e));
+    ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
+  }
+  const std::vector<SpillEntry> want = ReferenceMerge(std::move(concatenated));
+
+  // Exercise several buffer sizes including the degenerate one-record case
+  // and a deliberately unaligned size (rounded down to whole records).
+  for (uint64_t buf : {uint64_t{1}, uint64_t{4 + kPayload}, uint64_t{37},
+                       uint64_t{256}, MessageSpill::kDefaultMergeBufferBytes}) {
+    auto res = spill.NewMergeIterator(buf);
+    ASSERT_TRUE(res.ok()) << res.status().message();
+    auto it = std::move(res).value();
+    size_t i = 0;
+    while (it->Valid()) {
+      ASSERT_LT(i, want.size());
+      EXPECT_EQ(it->entry().dst, want[i].dst) << "buf=" << buf << " i=" << i;
+      EXPECT_EQ(it->entry().payload, want[i].payload)
+          << "buf=" << buf << " i=" << i;
+      ++i;
+      ASSERT_TRUE(it->Next().ok());
+    }
+    EXPECT_EQ(i, want.size()) << "buf=" << buf;
+    EXPECT_EQ(it->entries_read(), want.size());
+    EXPECT_EQ(it->entries_emitted(), want.size());
+  }
+
+  // The materializing wrapper streams through the same iterator.
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), want.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].dst, want[i].dst);
+    EXPECT_EQ(out[i].payload, want[i].payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingDifferentialTest,
+                         ::testing::Values(3, 17, 4242, 31337));
+
+TEST(MergeIterator, TieBreakIsRunOrderThenSpillOrder) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  // Three runs, all hitting dst 9; payloads encode (run, position).
+  ASSERT_TRUE(spill.SpillRun({{9, Payload(100)}, {9, Payload(101)}}).ok());
+  ASSERT_TRUE(spill.SpillRun({{9, Payload(200)}}).ok());
+  ASSERT_TRUE(spill.SpillRun({{9, Payload(300)}, {9, Payload(301)}}).ok());
+
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  const uint32_t want[] = {100, 101, 200, 300, 301};
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].dst, 9u);
+    EXPECT_EQ(PayloadValue(out[i].payload), want[i]) << "i=" << i;
+  }
+}
+
+// ----------------------------------------------------------------- combining
+
+void SumCombine(uint8_t* acc, const uint8_t* other) {
+  uint32_t a, b;
+  std::memcpy(&a, acc, 4);
+  std::memcpy(&b, other, 4);
+  a += b;
+  std::memcpy(acc, &a, 4);
+}
+
+void MinCombine(uint8_t* acc, const uint8_t* other) {
+  uint32_t a, b;
+  std::memcpy(&a, acc, 4);
+  std::memcpy(&b, other, 4);
+  a = std::min(a, b);
+  std::memcpy(acc, &a, 4);
+}
+
+TEST(MessageSpillCombine, FoldsAtSpillTimeAndShrinksRuns) {
+  MemStorage raw_storage, com_storage;
+  MessageSpill raw(&raw_storage, "t", 4);
+  MessageSpill com(&com_storage, "t", 4);
+  com.set_combiner(&SumCombine);
+  const std::vector<SpillEntry> run = {
+      {3, Payload(1)}, {1, Payload(2)}, {3, Payload(4)}, {1, Payload(8)},
+      {2, Payload(16)}};
+  ASSERT_TRUE(raw.SpillRun(run).ok());
+  ASSERT_TRUE(com.SpillRun(run).ok());
+
+  EXPECT_EQ(raw.num_messages(), 5u);
+  EXPECT_EQ(com.num_messages(), 3u);  // one record per distinct dst
+  EXPECT_EQ(com.combined_at_spill(), 2u);
+  EXPECT_LT(com.bytes_written(), raw.bytes_written());
+
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(com.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].dst, 1u);
+  EXPECT_EQ(PayloadValue(out[0].payload), 10u);
+  EXPECT_EQ(out[1].dst, 2u);
+  EXPECT_EQ(PayloadValue(out[1].payload), 16u);
+  EXPECT_EQ(out[2].dst, 3u);
+  EXPECT_EQ(PayloadValue(out[2].payload), 5u);
+}
+
+TEST(MessageSpillCombine, FoldsAcrossRunsDuringMerge) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  spill.set_combiner(&SumCombine);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}, {2, Payload(2)}}).ok());
+  ASSERT_TRUE(spill.SpillRun({{2, Payload(4)}, {3, Payload(8)}}).ok());
+  ASSERT_TRUE(spill.SpillRun({{2, Payload(16)}}).ok());
+
+  auto res = spill.NewMergeIterator(MessageSpill::kDefaultMergeBufferBytes);
+  ASSERT_TRUE(res.ok());
+  auto it = std::move(res).value();
+  std::vector<std::pair<uint32_t, uint32_t>> got;
+  while (it->Valid()) {
+    got.emplace_back(it->entry().dst, PayloadValue(it->entry().payload));
+    ASSERT_TRUE(it->Next().ok());
+  }
+  const std::vector<std::pair<uint32_t, uint32_t>> want = {
+      {1, 1}, {2, 22}, {3, 8}};
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(it->entries_read(), 5u);
+  EXPECT_EQ(it->entries_emitted(), 3u);
+  EXPECT_EQ(it->merge_combined(), 2u);
+}
+
+// Combiner-during-merge equivalence on seeded random inputs: per-destination
+// aggregate of the combined stream equals the aggregate of the raw stream,
+// for both a PageRank-style sum and a WCC-style min.
+class CombineEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CombineEquivalenceTest, MergeCombineMatchesRawAggregate) {
+  for (auto combine : {&SumCombine, &MinCombine}) {
+    Rng rng(GetParam());
+    MemStorage raw_storage, com_storage;
+    MessageSpill raw(&raw_storage, "t", 4);
+    MessageSpill com(&com_storage, "t", 4);
+    com.set_combiner(combine);
+    const int runs = 2 + static_cast<int>(rng.NextBounded(4));
+    for (int r = 0; r < runs; ++r) {
+      std::vector<SpillEntry> run;
+      const int n = 1 + static_cast<int>(rng.NextBounded(150));
+      for (int i = 0; i < n; ++i) {
+        const uint32_t dst = static_cast<uint32_t>(rng.NextBounded(20));
+        run.push_back({dst, Payload(1 + static_cast<uint32_t>(
+                                            rng.NextBounded(1000)))});
+      }
+      ASSERT_TRUE(raw.SpillRun(run).ok());
+      ASSERT_TRUE(com.SpillRun(run).ok());
+    }
+    std::vector<SpillEntry> raw_out, com_out;
+    ASSERT_TRUE(raw.MergeReadAll(&raw_out).ok());
+    ASSERT_TRUE(com.MergeReadAll(&com_out).ok());
+
+    // Fold the raw stream with the same combiner.
+    std::vector<std::pair<uint32_t, uint32_t>> want;
+    for (const auto& e : raw_out) {
+      if (!want.empty() && want.back().first == e.dst) {
+        uint32_t acc = want.back().second;
+        uint32_t v = PayloadValue(e.payload);
+        uint8_t accb[4];
+        std::memcpy(accb, &acc, 4);
+        combine(accb, reinterpret_cast<const uint8_t*>(&v));
+        std::memcpy(&acc, accb, 4);
+        want.back().second = acc;
+      } else {
+        want.emplace_back(e.dst, PayloadValue(e.payload));
+      }
+    }
+    ASSERT_EQ(com_out.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(com_out[i].dst, want[i].first);
+      EXPECT_EQ(PayloadValue(com_out[i].payload), want[i].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombineEquivalenceTest,
+                         ::testing::Values(5, 29, 777));
+
+// ---------------------------------------------------------------- corruption
+
+TEST(MergeIteratorCorruption, TruncatedRunIsCorruptionNotOob) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  std::vector<SpillEntry> run;
+  for (uint32_t i = 0; i < 32; ++i) run.push_back({i, Payload(i)});
+  ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
+
+  const std::string key = storage.ListKeys("t/")[0];
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(storage.Read(key, &blob, IoClass::kSeqRead).ok());
+  // Chop mid-record: the header still promises 32 entries.
+  blob.resize(blob.size() - 13);
+  ASSERT_TRUE(storage
+                  .Write(key, Slice(blob.data(), blob.size()),
+                         IoClass::kRandWrite)
+                  .ok());
+
+  auto res = spill.NewMergeIterator(64);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption)
+      << res.status().message();
+}
+
+TEST(MergeIteratorCorruption, BitFlippedCountIsCorruptionNotOob) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}, {2, Payload(2)}}).ok());
+
+  const std::string key = storage.ListKeys("t/")[0];
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(storage.Read(key, &blob, IoClass::kSeqRead).ok());
+  for (int bit : {0, 7, 40, 63}) {  // low and high bits of the fixed64 count
+    std::vector<uint8_t> flipped = blob;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    ASSERT_TRUE(storage
+                    .Write(key, Slice(flipped.data(), flipped.size()),
+                           IoClass::kRandWrite)
+                    .ok());
+    auto res = spill.NewMergeIterator(64);
+    ASSERT_FALSE(res.ok()) << "bit " << bit;
+    EXPECT_EQ(res.status().code(), StatusCode::kCorruption) << "bit " << bit;
+  }
+}
+
+TEST(MergeIteratorCorruption, RunBelowHeaderSizeIsCorruption) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}}).ok());
+  const std::string key = storage.ListKeys("t/")[0];
+  const uint8_t tiny[3] = {0, 1, 2};
+  ASSERT_TRUE(storage.Write(key, Slice(tiny, 3), IoClass::kRandWrite).ok());
+  auto res = spill.NewMergeIterator(64);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+}
+
+// Randomized truncation/bit-flip fuzz: any single mutation either fails
+// cleanly with Corruption or still yields exactly the promised entry count —
+// never a crash or out-of-bounds read (ASan-checked in CI).
+class CorruptionFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionFuzzTest, MutatedRunNeverReadsOutOfBounds) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    MemStorage storage;
+    MessageSpill spill(&storage, "t", 4);
+    const int n = 1 + static_cast<int>(rng.NextBounded(60));
+    std::vector<SpillEntry> run;
+    for (int i = 0; i < n; ++i) {
+      run.push_back({static_cast<uint32_t>(rng.NextBounded(32)),
+                     Payload(static_cast<uint32_t>(rng.NextBounded(100)))});
+    }
+    ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
+    const std::string key = storage.ListKeys("t/")[0];
+    std::vector<uint8_t> blob;
+    ASSERT_TRUE(storage.Read(key, &blob, IoClass::kSeqRead).ok());
+    if (rng.NextBounded(2) == 0 && blob.size() > 1) {
+      blob.resize(1 + rng.NextBounded(blob.size() - 1));  // truncate
+    } else {
+      const size_t byte = rng.NextBounded(blob.size());
+      blob[byte] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));  // flip
+    }
+    ASSERT_TRUE(storage
+                    .Write(key, Slice(blob.data(), blob.size()),
+                           IoClass::kRandWrite)
+                    .ok());
+
+    auto res = spill.NewMergeIterator(1 + rng.NextBounded(128));
+    if (!res.ok()) {
+      EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+      continue;
+    }
+    auto it = std::move(res).value();
+    uint64_t emitted = 0;
+    Status st;
+    while (it->Valid()) {
+      ++emitted;
+      st = it->Next();
+      if (!st.ok()) break;
+    }
+    if (st.ok()) {
+      EXPECT_EQ(emitted, static_cast<uint64_t>(n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzzTest,
+                         ::testing::Values(11, 1234, 987654));
+
+// -------------------------------------------------------------------- memory
+
+TEST(MergeIterator, ResidentEntriesStayWithinBufferBound) {
+  Rng rng(8);
+  constexpr size_t kPayload = 4;
+  constexpr uint64_t kRecord = 4 + kPayload;
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", kPayload);
+  const size_t runs = 6;
+  const int per_run = 500;
+  for (size_t r = 0; r < runs; ++r) {
+    std::vector<SpillEntry> run;
+    for (int i = 0; i < per_run; ++i) {
+      run.push_back({static_cast<uint32_t>(rng.NextBounded(1000)),
+                     Payload(static_cast<uint32_t>(i))});
+    }
+    ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
+  }
+  // 4 records of buffer per run: the merge must never hold more than
+  // runs × 4 buffered entries (+1 for the exposed current entry), out of
+  // 3000 spilled — the bounded-memory guarantee of the streaming drain.
+  const uint64_t per_run_buf = 4 * kRecord;
+  auto res = spill.NewMergeIterator(per_run_buf);
+  ASSERT_TRUE(res.ok());
+  auto it = std::move(res).value();
+  EXPECT_EQ(it->buffer_bytes(), runs * per_run_buf);
+  uint64_t emitted = 0;
+  while (it->Valid()) {
+    ++emitted;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(emitted, static_cast<uint64_t>(runs * per_run));
+  EXPECT_LE(it->peak_resident_entries(), runs * 4 + 1);
+  EXPECT_GT(it->peak_resident_entries(), 0u);
+}
+
+TEST(MergeIterator, OddBufferSizeRoundsDownToWholeRecords) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}, {2, Payload(2)}}).ok());
+  auto res = spill.NewMergeIterator(19);  // 2 whole 8-byte records
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value()->buffer_bytes(), 16u);
+}
+
+// ------------------------------------------------------------ orphaned runs
+
+TEST(MessageSpillOrphans, FailedSyncLeavesNoStrayKeyAndSpillStaysUsable) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  {
+    FailPointScope fp("storage.sync=error");
+    ASSERT_TRUE(fp.status().ok());
+    Status st = spill.SpillRun({{1, Payload(1)}, {2, Payload(2)}});
+    EXPECT_FALSE(st.ok());
+  }
+  // Write-then-register: the failed run must not be visible anywhere.
+  EXPECT_EQ(spill.num_runs(), 0u);
+  EXPECT_EQ(spill.num_messages(), 0u);
+  EXPECT_TRUE(storage.ListKeys("t/").empty());
+
+  // The same key slot is reused cleanly once the fault clears.
+  ASSERT_TRUE(spill.SpillRun({{7, Payload(7)}}).ok());
+  std::vector<SpillEntry> out;
+  ASSERT_TRUE(spill.MergeReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst, 7u);
+}
+
+TEST(MessageSpillOrphans, ClearSweepsUnregisteredStrays) {
+  MemStorage storage;
+  MessageSpill spill(&storage, "t", 4);
+  ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}}).ok());
+  // Simulate a dead incarnation's leftover: a run blob the live spill never
+  // registered (e.g. written just before a crash).
+  const uint8_t junk[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_TRUE(storage
+                  .Write("t/run-000042", Slice(junk, 8), IoClass::kRandWrite)
+                  .ok());
+  ASSERT_TRUE(spill.Clear().ok());
+  EXPECT_TRUE(storage.ListKeys("t/").empty());
+}
 
 }  // namespace
 }  // namespace hybridgraph
