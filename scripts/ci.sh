@@ -6,6 +6,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "==> header hygiene (each public core header compiles in an isolated TU)"
+sh scripts/check_headers.sh
+
 echo "==> plain build + full ctest"
 cmake -B build -S .
 cmake --build build -j "$(nproc)"

@@ -21,34 +21,29 @@
 // resource-contention spike at superstep 11 of Fig 14), and the
 // push -> b-pull switch superstep consumes pushed messages and produces
 // nothing, exactly as in Fig 6.
+//
+// This header is a facade: the BSP loop, barriers, accounting and hybrid
+// switching live in SuperstepDriver (core/superstep_driver.h); the
+// per-mode load/update/pushRes/pullRes behavior lives in the MessagePath
+// strategies under core/paths/. Engine<P> wires the block-centric paths
+// (push or pushM, plus b-pull) into one driver and forwards its public API.
 #pragma once
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
 #include <memory>
-#include <numeric>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "core/aggregators.h"
 #include "core/job_config.h"
+#include "core/paths/bpull_path.h"
+#include "core/paths/push_m_path.h"
+#include "core/paths/push_path.h"
 #include "core/program.h"
 #include "core/run_metrics.h"
-#include "graph/adjacency_store.h"
+#include "core/superstep_driver.h"
 #include "graph/edge_list.h"
 #include "graph/partition.h"
-#include "graph/ve_block_store.h"
-#include "graph/vertex_store.h"
-#include "io/message_spill.h"
-#include "io/storage.h"
-#include "net/message_codec.h"
-#include "net/tcp_transport.h"
-#include "net/transport.h"
-#include "util/failpoint.h"
-#include "util/logging.h"
-#include "util/string_util.h"
-#include "util/thread_pool.h"
+#include "util/buffer.h"
+#include "util/status.h"
 
 namespace hybridgraph {
 
@@ -59,1658 +54,64 @@ class Engine {
   using Message = typename P::Message;
 
   Engine(JobConfig config, P program)
-      : config_(std::move(config)), program_(std::move(program)) {
+      : driver_(std::move(config), std::move(program), /*gas_engine=*/false) {
     StaticCheckProgram<P>();
+    const EngineMode mode = driver_.config().mode;
+    if (mode == EngineMode::kPushM) {
+      push_ = std::make_unique<PushMPath<P>>(&driver_);
+    } else {
+      push_ = std::make_unique<PushPath<P>>(&driver_);
+    }
+    bpull_ = std::make_unique<BPullPath<P>>(&driver_);
+    // Only active paths build their disk layout; the registry still knows
+    // every installed path so consumption can dispatch by mode.
+    driver_.InstallPath(push_.get(), /*active=*/mode != EngineMode::kBPull);
+    driver_.InstallPath(bpull_.get(),
+                        /*active=*/mode == EngineMode::kBPull ||
+                            mode == EngineMode::kHybrid);
   }
 
   /// Partitions the graph, derives Vblock counts (Eq. 5/6), builds the
   /// disk layouts each mode needs, and initializes vertex state.
-  Status Load(const EdgeListGraph& graph);
+  Status Load(const EdgeListGraph& graph) { return driver_.Load(graph); }
 
   /// Runs supersteps until convergence or config.max_supersteps.
-  Status Run();
+  Status Run() { return driver_.Run(); }
 
   /// Runs exactly one superstep (exposed for tests and traces).
-  Status RunSuperstep();
+  Status RunSuperstep() { return driver_.RunSuperstep(); }
 
-  const JobStats& stats() const { return stats_; }
-  const RangePartition& partition() const { return partition_; }
-  const JobConfig& config() const { return config_; }
-  bool converged() const { return converged_; }
-  int superstep() const { return superstep_; }
+  const JobStats& stats() const { return driver_.stats(); }
+  const RangePartition& partition() const { return driver_.partition(); }
+  const JobConfig& config() const { return driver_.config(); }
+  bool converged() const { return driver_.converged(); }
+  int superstep() const { return driver_.superstep(); }
   /// Production mode of the upcoming superstep (hybrid switches this).
-  EngineMode current_mode() const { return mode_; }
+  EngineMode current_mode() const { return driver_.current_mode(); }
 
   /// Collects all vertex values (global, indexed by vertex id).
-  Result<std::vector<Value>> GatherValues();
+  Result<std::vector<Value>> GatherValues() { return driver_.GatherValues(); }
 
   /// Theorem 2 quantities (valid after Load()).
-  uint64_t total_fragments() const { return total_fragments_; }
-  uint64_t b_lower_bound() const { return stats_.load.b_lower_bound; }
+  uint64_t total_fragments() const { return driver_.total_fragments(); }
+  uint64_t b_lower_bound() const { return driver_.b_lower_bound(); }
 
   /// Serializes the full runtime state (superstep, mode, vertex values,
   /// flags, undelivered messages) so a failed job can resume from the last
   /// barrier instead of recomputing from scratch (the lightweight
   /// fault-tolerance the paper leaves as future work, Appendix A).
-  Status WriteCheckpoint(Buffer* out);
+  Status WriteCheckpoint(Buffer* out) { return driver_.WriteCheckpoint(out); }
 
   /// Restores a WriteCheckpoint() image into a freshly Load()ed engine with
   /// an identical config and graph. Per-superstep stats restart empty.
-  Status RestoreCheckpoint(Slice data);
+  Status RestoreCheckpoint(Slice data) {
+    return driver_.RestoreCheckpoint(data);
+  }
 
  private:
-  static constexpr size_t kMsgSize = P::kMessageSize;
-  /// Wire/spill record: destination id + message payload.
-  static constexpr size_t kMsgRecordSize = 4 + kMsgSize;
-  /// Vertex value record on disk (id + out-degree + payload).
-  static constexpr size_t kValueRecordSize = 8 + P::kValueSize;
-
-  struct Inbox {
-    std::vector<std::pair<VertexId, Message>> mem;  ///< up to B_i messages
-    std::unique_ptr<MessageSpill> spill;
-    uint64_t total = 0;
-    uint64_t spilled = 0;
-  };
-
-  struct Node {
-    NodeId id = 0;
-    std::unique_ptr<StorageService> storage;
-    std::unique_ptr<VertexValueStore> vstore;
-    std::unique_ptr<AdjacencyStore> adj;
-    std::unique_ptr<VeBlockStore> ve;
-
-    VertexRange range;
-    // Runtime flags, indexed by (v - range.begin).
-    std::vector<uint8_t> active;
-    std::vector<uint8_t> responding;
-    std::vector<uint8_t> responding_next;
-    // X_j.res per local Vblock (indexed by global vb - first_vb).
-    std::vector<uint8_t> vblock_res;
-    std::vector<uint8_t> vblock_res_next;
-
-    Inbox inbox_cur;
-    Inbox inbox_next;
-
-    // pushM online accumulators for cached ("memory-resident") vertices.
-    std::vector<uint8_t> moc_cached;
-    std::vector<Message> moc_acc;
-    std::vector<uint8_t> moc_has;
-
-    // Per-destination-node send staging (push production).
-    std::vector<std::vector<std::pair<VertexId, Message>>> staging;
-    // Sender-side combining index (pushM+com, Appendix E): per destination
-    // node, destination vertex -> slot in `staging`. Only messages that are
-    // still in the unflushed buffer can combine — flushing clears the index,
-    // which is exactly why small sending thresholds limit the gain.
-    std::vector<std::unordered_map<VertexId, size_t>> combine_index;
-
-    // Messages collected for consumption this superstep.
-    std::vector<std::vector<Message>> pending;
-    std::vector<uint8_t> pending_has;
-    uint64_t pending_count = 0;
-
-    // Incoming kPushMessages payloads staged by the transport handler
-    // (indexed by sender), applied to the inbox at the post-Phase-B drain in
-    // sender order. Staging is what makes parallel Phase B deterministic:
-    // the drain order equals the arrival order of the old sequential
-    // execution (all of node 0's batches, then node 1's, ...), so the
-    // memory/spill split and every combine order are thread-count invariant.
-    std::vector<std::vector<std::vector<uint8_t>>> push_staged;
-
-    // Pull-Respond accounting staged per requester. The handler runs in the
-    // requester's thread while this node may be busy with its own Phase A,
-    // so it must not touch the shared per-superstep counters directly; the
-    // staged values are merged in requester order after the Phase A barrier,
-    // which reproduces the sequential accumulation order exactly (floating-
-    // point sums included).
-    struct PullServe {
-      IoBreakdown io;
-      double cpu_seconds = 0;
-      uint64_t msgs_produced = 0;
-      uint64_t msgs_combined = 0;
-      uint64_t msgs_wire = 0;
-      uint64_t flushes = 0;
-      uint64_t bs_highwater = 0;
-    };
-    std::vector<PullServe> pull_serve;
-
-    // Per-superstep counters.
-    double aggregate_partial = 0;
-    uint64_t updated_vertices = 0;
-    uint64_t msgs_produced = 0;
-    uint64_t msgs_wire = 0;
-    uint64_t msgs_combined = 0;
-    uint64_t flushes = 0;
-    double cpu_seconds = 0;
-    uint64_t mem_highwater = 0;
-    // Streaming spill-merge observability (CollectPush drain).
-    uint64_t spill_buffer_peak = 0;    ///< run-buffer bytes held by the merge
-    uint64_t spill_resident_peak = 0;  ///< peak resident spill entries
-    uint64_t spill_combined = 0;       ///< combiner reductions (spill + merge)
-    // I/O classification counters (bytes).
-    IoBreakdown io;
-
-    DiskMeter disk_snapshot;
-    NetMeter net_snapshot;
-
-    uint32_t LocalIdx(VertexId v) const { return v - range.begin; }
-  };
-
-  // ------------------------------------------------------------- load phase
-  Status BuildNodes(const EdgeListGraph& graph);
-  uint32_t DeriveVblocks(NodeId node, uint64_t node_in_degree,
-                         uint64_t node_vertices) const;
-
-  // --------------------------------------------------------- superstep core
-  Status PhaseAConsume(Node& node);
-  Status PhaseBUpdateProduce(Node& node);
-  Status CollectPush(Node& node);
-  Status CollectBPull(Node& node);
-  Status HandlePushBatch(Node& node, Slice payload);
-  Status HandlePullRequest(Node& node, NodeId requester, Slice payload,
-                           Buffer* response);
-  /// Applies the staged incoming push batches in sender order (run for every
-  /// node after the Phase B barrier, before accounting reads the inbox).
-  Status DrainStagedPushes(Node& node);
-  /// Folds the staged Pull-Respond counters into the node's per-superstep
-  /// counters in requester order (run after the Phase A barrier).
-  void MergePullServe(Node& node);
-  Status ProducePush(Node& node, uint32_t vb,
-                     const std::vector<uint8_t>& respond_in_vb,
-                     const std::vector<uint8_t>& block_values);
-  Status FlushStaging(Node& node, NodeId dst, bool force);
-  void AddPending(Node& node, VertexId dst, const Message& m);
-  /// MessageSpill::CombineFn shim over P::Combine for raw encoded payloads
-  /// (spill_combining; only instantiated for combinable programs).
-  static void CombineRawMessages(uint8_t* acc, const uint8_t* other);
-
-  // ------------------------------------------------------------- accounting
-  void BeginSuperstepAccounting();
-  void EndSuperstepAccounting(EngineMode produce_mode, bool switched);
-  uint64_t ModeledMemoryBytes(const Node& node, EngineMode mode) const;
-
-  // ----------------------------------------------------------------- hybrid
-  /// Component estimates for the mode that did NOT run this superstep,
-  /// derived from store metadata and responding flags (Sec 5.3).
-  struct PushCostEstimate {
-    double vt_bytes = 0;
-    double adj_bytes = 0;
-    double mdisk_bytes = 0;
-    double Total() const { return vt_bytes + adj_bytes + 2.0 * mdisk_bytes; }
-  };
-  struct BPullCostEstimate {
-    double vt_bytes = 0;
-    double e_bytes = 0;
-    double f_bytes = 0;
-    double vrr_bytes = 0;
-    double Total() const { return vt_bytes + e_bytes + f_bytes + vrr_bytes; }
-  };
-  void EvaluateSwitch(SuperstepMetrics* m);
-  PushCostEstimate EstimateCioPush(uint64_t msgs) const;
-  BPullCostEstimate EstimateCioBPull() const;
-
-  JobConfig config_;
-  P program_;
-  RangePartition partition_;
-  std::unique_ptr<Transport> transport_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::vector<Node> nodes_;
-  SuperstepContext ctx_;
-
-  int superstep_ = 0;
-  bool converged_ = false;
-  bool loaded_ = false;
-
-  // Hybrid state: production mode for the upcoming superstep and the one
-  // used by the previous superstep (= consumption mode of the upcoming one).
-  EngineMode mode_ = EngineMode::kPush;       // resolved push/b-pull
-  EngineMode prev_produce_ = EngineMode::kPush;
-  int last_switch_superstep_ = -1000;
-  double last_rco_ = 0.5;  ///< combining ratio observed in the last b-pull step
-  uint64_t prev_responding_ = 0;  ///< responding count, previous superstep
-  /// Aggregate visible to the previous superstep (pullRes() at superstep t
-  /// logically produces superstep t-1's messages and must see t-1's view).
-  double pull_gen_aggregate_ = 0;
-
-  /// fault_counters() at the start of the current superstep; the superstep's
-  /// SuperstepMetrics records the delta.
-  TransportFaultCounters fault_snapshot_;
-
-  uint64_t total_edges_ = 0;
-  uint64_t total_fragments_ = 0;
-  uint64_t total_in_degree_ = 0;
-  uint64_t initial_messages_ = 0;   ///< sum of out-degrees of InitActive vertices
-  double initial_active_frac_ = 0;  ///< |InitActive| / |V|
-
-  JobStats stats_;
+  SuperstepDriver<P> driver_;
+  std::unique_ptr<PushPath<P>> push_;  // PushMPath under config.mode == pushM
+  std::unique_ptr<BPullPath<P>> bpull_;
 };
-
-// ============================================================ implementation
-
-template <typename P>
-uint32_t Engine<P>::DeriveVblocks(NodeId node, uint64_t node_in_degree,
-                                  uint64_t node_vertices) const {
-  if (config_.vblocks_per_node > 0) return config_.vblocks_per_node;
-  if (config_.msg_buffer_per_node == UINT64_MAX || node_vertices == 0) {
-    return 1;  // sufficient memory: as few Vblocks as possible (Sec 4.3)
-  }
-  const double bi = static_cast<double>(config_.msg_buffer_per_node);
-  double v;
-  if (P::kCombinable) {
-    // Eq. (5): V_i = (2 n_i + n_i T) / B_i.
-    v = (2.0 * node_vertices +
-         static_cast<double>(node_vertices) * config_.num_nodes) /
-        bi;
-  } else {
-    // Eq. (6): V_i = sum of in-degrees / B_i.
-    v = static_cast<double>(node_in_degree) / bi;
-  }
-  uint32_t vi = static_cast<uint32_t>(std::ceil(v));
-  vi = std::max<uint32_t>(1, vi);
-  vi = static_cast<uint32_t>(
-      std::min<uint64_t>(vi, std::max<uint64_t>(1, node_vertices)));
-  return vi;
-}
-
-template <typename P>
-Status Engine<P>::BuildNodes(const EdgeListGraph& graph) {
-  const uint32_t T = config_.num_nodes;
-
-  // Node ranges are fixed by an even split; Vblock counts then follow from
-  // Eq. (5)/(6), which need per-node degree totals.
-  HG_ASSIGN_OR_RETURN(auto coarse,
-                      RangePartition::CreateUniform(graph.num_vertices, T, 1));
-  const auto in_degrees = graph.InDegrees();
-  const auto out_degrees = graph.OutDegrees();
-  total_in_degree_ = graph.edges.size();
-
-  std::vector<uint64_t> node_in_degree(T, 0);
-  for (VertexId v = 0; v < graph.num_vertices; ++v) {
-    node_in_degree[coarse.NodeOf(v)] += in_degrees[v];
-  }
-  std::vector<uint32_t> vblocks(T);
-  for (uint32_t i = 0; i < T; ++i) {
-    vblocks[i] =
-        DeriveVblocks(i, node_in_degree[i], coarse.NodeRange(i).size());
-  }
-  HG_ASSIGN_OR_RETURN(partition_,
-                      RangePartition::Create(graph.num_vertices, T, vblocks));
-
-  // Bucket edges by source node.
-  std::vector<std::vector<RawEdge>> local_edges(T);
-  for (const auto& e : graph.edges) {
-    local_edges[partition_.NodeOf(e.src)].push_back(e);
-  }
-
-  if (config_.transport == TransportKind::kTcp) {
-    TcpTransport::Options topt;
-    topt.call_timeout_ms = config_.tcp_call_timeout_ms;
-    topt.max_retries = config_.tcp_max_retries;
-    topt.backoff_base_us = config_.tcp_backoff_base_us;
-    topt.backoff_max_us = config_.tcp_backoff_max_us;
-    topt.max_frame_bytes = config_.tcp_max_frame_bytes;
-    topt.seed = config_.seed;
-    transport_ = std::make_unique<TcpTransport>(T, topt);
-  } else {
-    transport_ = std::make_unique<InProcTransport>(T);
-  }
-  nodes_.resize(T);
-  HG_RETURN_IF_ERROR(transport_->Start());
-
-  if (config_.metered_loading) {
-    // Load-phase shuffle: reader node (DFS split by edge position) routes
-    // each edge to the node owning its source vertex. Sinks just absorb the
-    // batches — local_edges below is the materialized result.
-    for (uint32_t i = 0; i < T; ++i) {
-      transport_->RegisterHandler(i, RpcMethod::kLoadShuffle,
-                                  [](NodeId, Slice, Buffer*) {
-                                    return Status::OK();
-                                  });
-    }
-    std::vector<NetMeter> before(T);
-    for (uint32_t i = 0; i < T; ++i) before[i] = *transport_->meter(i);
-    std::vector<std::vector<Buffer>> batches(T);
-    for (auto& row : batches) row.resize(T);
-    uint64_t edge_idx = 0;
-    for (const auto& e : graph.edges) {
-      const NodeId reader = static_cast<NodeId>(edge_idx++ % T);
-      const NodeId owner = partition_.NodeOf(e.src);
-      Buffer& buf = batches[reader][owner];
-      Encoder enc(&buf);
-      enc.PutFixed32(e.src);
-      enc.PutFixed32(e.dst);
-      enc.PutFloat(e.weight);
-      if (buf.size() >= config_.sending_threshold_bytes) {
-        HG_RETURN_IF_ERROR(transport_->Post(reader, owner,
-                                            RpcMethod::kLoadShuffle,
-                                            buf.AsSlice()));
-        buf.Clear();
-      }
-    }
-    for (uint32_t i = 0; i < T; ++i) {
-      for (uint32_t j = 0; j < T; ++j) {
-        if (!batches[i][j].empty()) {
-          HG_RETURN_IF_ERROR(transport_->Post(i, j, RpcMethod::kLoadShuffle,
-                                              batches[i][j].AsSlice()));
-        }
-      }
-    }
-    double max_seconds = 0;
-    for (uint32_t i = 0; i < T; ++i) {
-      const NetMeter d = transport_->meter(i)->DeltaSince(before[i]);
-      stats_.load.shuffle_net_bytes += d.bytes_sent;
-      max_seconds = std::max(
-          max_seconds, config_.net.SecondsFor(std::max(d.bytes_sent,
-                                                       d.bytes_received)));
-    }
-    stats_.load.shuffle_seconds = max_seconds;
-  }
-
-  const bool need_adj = config_.mode != EngineMode::kBPull;
-  const bool need_ve = config_.mode == EngineMode::kBPull ||
-                       config_.mode == EngineMode::kHybrid;
-
-  for (uint32_t i = 0; i < T; ++i) {
-    Node& node = nodes_[i];
-    node.id = i;
-    node.range = partition_.NodeRange(i);
-    if (config_.use_file_storage) {
-      HG_ASSIGN_OR_RETURN(node.storage,
-                          FileStorage::Open(config_.storage_dir + "/node" +
-                                            std::to_string(i)));
-    } else {
-      node.storage = std::make_unique<MemStorage>();
-    }
-    node.storage->EnablePageCache(config_.page_cache_bytes_per_node);
-
-    HG_ASSIGN_OR_RETURN(
-        node.vstore,
-        VertexValueStore::Build(
-            node.storage.get(), partition_, i, P::kValueSize, out_degrees,
-            [&](VertexId v, uint8_t* out) {
-              const Value val = program_.InitValue(v, ctx_);
-              PodCodec<Value>::Encode(val, out);
-            }));
-    if (need_adj) {
-      HG_ASSIGN_OR_RETURN(node.adj,
-                          AdjacencyStore::Build(node.storage.get(), partition_,
-                                                i, local_edges[i]));
-    }
-    if (need_ve) {
-      HG_ASSIGN_OR_RETURN(
-          node.ve, VeBlockStore::Build(node.storage.get(), partition_, i,
-                                       local_edges[i], in_degrees));
-      total_fragments_ += node.ve->TotalFragments();
-    }
-
-    const uint32_t n = node.range.size();
-    node.active.assign(n, 0);
-    node.responding.assign(n, 0);
-    node.responding_next.assign(n, 0);
-    node.vblock_res.assign(partition_.NumVblocksOf(i), 0);
-    node.vblock_res_next.assign(partition_.NumVblocksOf(i), 0);
-    node.pending.assign(n, {});
-    node.pending_has.assign(n, 0);
-    node.staging.resize(T);
-    node.combine_index.resize(T);
-    node.push_staged.resize(T);
-    node.pull_serve.resize(T);
-    for (VertexId v = node.range.begin; v < node.range.end; ++v) {
-      const bool active = program_.InitActive(v);
-      node.active[v - node.range.begin] = active ? 1 : 0;
-      if (active) {
-        initial_messages_ += out_degrees[v];
-        initial_active_frac_ += 1.0;
-      }
-    }
-    node.inbox_cur.spill = std::make_unique<MessageSpill>(
-        node.storage.get(), StringFormat("node%u/spill/a", i), kMsgSize);
-    node.inbox_next.spill = std::make_unique<MessageSpill>(
-        node.storage.get(), StringFormat("node%u/spill/b", i), kMsgSize);
-    if constexpr (P::kCombinable) {
-      if (config_.spill_combining) {
-        node.inbox_cur.spill->set_combiner(&Engine<P>::CombineRawMessages);
-        node.inbox_next.spill->set_combiner(&Engine<P>::CombineRawMessages);
-      }
-    }
-
-    // pushM vertex cache: the B_i highest in-degree local vertices stay
-    // memory-resident (MOCgraph's hot-aware placement).
-    if (config_.mode == EngineMode::kPushM) {
-      node.moc_cached.assign(n, 0);
-      if constexpr (P::kCombinable) {
-        node.moc_acc.assign(n, Message{});
-      }
-      node.moc_has.assign(n, 0);
-      const uint64_t cap = config_.msg_buffer_per_node;
-      if (cap >= n) {
-        std::fill(node.moc_cached.begin(), node.moc_cached.end(), 1);
-      } else {
-        std::vector<uint32_t> idx(n);
-        std::iota(idx.begin(), idx.end(), 0);
-        std::nth_element(idx.begin(), idx.begin() + cap, idx.end(),
-                         [&](uint32_t a, uint32_t b) {
-                           return in_degrees[node.range.begin + a] >
-                                  in_degrees[node.range.begin + b];
-                         });
-        for (uint64_t k = 0; k < cap; ++k) node.moc_cached[idx[k]] = 1;
-      }
-    }
-
-    // RPC wiring. Handlers run in the SENDER's thread (or a transport server
-    // thread) under the destination's dispatch lock, possibly while this
-    // node's own phase task is running — so they only stage raw bytes or
-    // per-requester counters; the engine applies them at the next barrier.
-    transport_->RegisterHandler(
-        i, RpcMethod::kPushMessages,
-        [&node](NodeId src, Slice payload, Buffer*) {
-          node.push_staged[src].emplace_back(payload.data(),
-                                             payload.data() + payload.size());
-          return Status::OK();
-        });
-    transport_->RegisterHandler(
-        i, RpcMethod::kPullRequest,
-        [this, &node](NodeId src, Slice payload, Buffer* response) {
-          return HandlePullRequest(node, src, payload, response);
-        });
-    transport_->RegisterHandler(
-        i, RpcMethod::kControl,
-        [](NodeId, Slice, Buffer*) { return Status::OK(); });
-  }
-
-  // Load metrics + Theorem 2 bound.
-  uint64_t bytes_written = 0, adj_bytes = 0, ve_bytes = 0, v_bytes = 0;
-  for (auto& node : nodes_) {
-    bytes_written += node.storage->meter()->WriteBytes();
-    if (node.adj) adj_bytes += node.adj->TotalBytes();
-    if (node.ve) ve_bytes += node.ve->TotalBytes();
-    v_bytes += node.vstore->TotalBytes();
-  }
-  stats_.load.bytes_written = bytes_written;
-  stats_.load.adj_bytes = adj_bytes;
-  stats_.load.veblock_bytes = ve_bytes;
-  stats_.load.vblock_bytes = v_bytes;
-  stats_.load.total_fragments = total_fragments_;
-  const uint64_t half_e = total_edges_ / 2;
-  stats_.load.b_lower_bound =
-      half_e > total_fragments_ ? half_e - total_fragments_ : 0;
-  // Modeled load time: sequential write of everything built.
-  stats_.load.load_seconds =
-      static_cast<double>(bytes_written) /
-          (config_.disk.seq_write_mbps * 1024.0 * 1024.0) / config_.num_nodes +
-      stats_.load.shuffle_seconds;
-  initial_active_frac_ /= static_cast<double>(graph.num_vertices);
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::Load(const EdgeListGraph& graph) {
-  HG_RETURN_IF_ERROR(graph.Validate());
-  JobConfig::JobFacts facts;
-  facts.num_vertices = graph.num_vertices;
-  facts.combinable_messages = P::kCombinable;
-  facts.vpull_engine = false;
-  HG_RETURN_IF_ERROR(config_.Validate(facts));
-  if (!config_.failpoints.empty()) {
-    HG_RETURN_IF_ERROR(
-        FailPointRegistry::Instance().ArmFromString(config_.failpoints));
-  }
-  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
-  total_edges_ = graph.num_edges();
-  // Fold the cluster CPU scale into the per-unit costs once.
-  config_.cpu.per_vertex_update_s *= config_.cpu.scale;
-  config_.cpu.per_message_s *= config_.cpu.scale;
-  config_.cpu.per_edge_s *= config_.cpu.scale;
-  config_.cpu.per_spilled_message_s *= config_.cpu.scale;
-  config_.cpu.per_combine_s *= config_.cpu.scale;
-  config_.cpu.scale = 1.0;
-  ctx_.num_vertices = graph.num_vertices;
-  ctx_.superstep = 0;
-  HG_RETURN_IF_ERROR(BuildNodes(graph));
-
-  // Initial mode (Algorithm 3 line 2, Theorem 2): b-pull iff B <= |E|/2 - f.
-  switch (config_.mode) {
-    case EngineMode::kPush:
-    case EngineMode::kPushM:
-      mode_ = config_.mode;
-      break;
-    case EngineMode::kBPull:
-      mode_ = EngineMode::kBPull;
-      break;
-    case EngineMode::kHybrid: {
-      if (config_.force_initial_mode) {
-        mode_ = config_.initial_mode;
-      } else if (config_.memory_resident) {
-        // Sufficient memory: communication dominates; b-pull combines
-        // (Sec 6.1: "hybrid thereby runs b-pull" in that scenario).
-        mode_ = EngineMode::kBPull;
-      } else if (config_.qt_use_table3_throughputs) {
-        // Theorem 2's literal sufficient condition: b-pull iff B <= |E|/2-f.
-        const uint64_t b_total =
-            config_.msg_buffer_per_node == UINT64_MAX
-                ? UINT64_MAX
-                : config_.msg_buffer_per_node * config_.num_nodes;
-        mode_ = (b_total != UINT64_MAX && b_total <= stats_.load.b_lower_bound)
-                    ? EngineMode::kBPull
-                    : EngineMode::kPush;
-      } else {
-        // Same decision as Theorem 2 ("|E| and f are available after
-        // building VE-BLOCK ... we can decide before starting"), but
-        // evaluated with the runtime model's effective costs and the job's
-        // ACTUAL initial message volume (sum of out-degrees of the
-        // initially-active vertices). For Always-Active jobs this equals
-        // |E| — the theorem's premise; for Traversal-Style jobs the tiny
-        // starting frontier correctly favours push.
-        const uint64_t b_total =
-            config_.msg_buffer_per_node == UINT64_MAX
-                ? UINT64_MAX
-                : config_.msg_buffer_per_node * config_.num_nodes;
-        const double mdisk_bytes =
-            (b_total == UINT64_MAX || initial_messages_ <= b_total)
-                ? 0.0
-                : static_cast<double>(initial_messages_ - b_total) *
-                      kMsgRecordSize;
-        const double mb = 1024.0 * 1024.0;
-        uint64_t adj_bytes = 0, e_bytes = 0, f_bytes = 0;
-        for (const auto& node : nodes_) {
-          if (node.adj) adj_bytes += node.adj->TotalBytes();
-          if (node.ve) {
-            e_bytes += node.ve->TotalEdgeBytes();
-            f_bytes += node.ve->TotalAuxBytes();
-          }
-        }
-        const double frac = initial_active_frac_;
-        const double fragments =
-            static_cast<double>(total_fragments_) * frac;
-        const double vrr_bytes = fragments * (8 + P::kValueSize);
-        const double q0 =
-            mdisk_bytes / (config_.disk.rand_write_mbps * mb) +
-            (mdisk_bytes / kMsgRecordSize) *
-                config_.cpu.per_spilled_message_s * config_.cpu.scale -
-            fragments * config_.disk.per_random_op_s -
-            vrr_bytes / (kRamMbps * mb) +
-            (static_cast<double>(adj_bytes) * frac + mdisk_bytes -
-             (e_bytes + f_bytes) * frac) /
-                (kRamMbps * mb);
-        mode_ = q0 >= 0 ? EngineMode::kBPull : EngineMode::kPush;
-      }
-      break;
-    }
-    default:
-      return Status::InvalidArgument("unsupported mode");
-  }
-  prev_produce_ = mode_;
-  loaded_ = true;
-  return Status::OK();
-}
-
-// -------------------------------------------------------------- message flow
-
-template <typename P>
-void Engine<P>::CombineRawMessages(uint8_t* acc, const uint8_t* other) {
-  if constexpr (P::kCombinable) {
-    const Message a = PodCodec<Message>::Decode(acc);
-    const Message b = PodCodec<Message>::Decode(other);
-    PodCodec<Message>::Encode(P::Combine(a, b), acc);
-  } else {
-    (void)acc;
-    (void)other;
-  }
-}
-
-template <typename P>
-void Engine<P>::AddPending(Node& node, VertexId dst, const Message& m) {
-  const uint32_t li = node.LocalIdx(dst);
-  if constexpr (P::kCombinable) {
-    if (node.pending_has[li]) {
-      node.pending[li][0] = P::Combine(node.pending[li][0], m);
-    } else {
-      node.pending[li].assign(1, m);
-      node.pending_has[li] = 1;
-    }
-  } else {
-    node.pending[li].push_back(m);
-    node.pending_has[li] = 1;
-  }
-  ++node.pending_count;
-}
-
-template <typename P>
-Status Engine<P>::HandlePushBatch(Node& node, Slice payload) {
-  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> msgs;
-  HG_RETURN_IF_ERROR(FlatBatchCodec::Decode(payload, kMsgSize, &msgs));
-  const bool unlimited =
-      config_.msg_buffer_per_node == UINT64_MAX || config_.memory_resident;
-
-  std::vector<SpillEntry> overflow;
-  for (auto& [dst, bytes] : msgs) {
-    const Message m = PodCodec<Message>::Decode(bytes.data());
-    const uint32_t li = node.LocalIdx(dst);
-    ++node.inbox_next.total;
-    if (config_.mode == EngineMode::kPushM) {
-      // MOCgraph online computing: messages for memory-resident vertices are
-      // folded into the accumulator immediately and never stored.
-      if (node.moc_cached[li]) {
-        if constexpr (P::kCombinable) {
-          node.moc_acc[li] =
-              node.moc_has[li] ? P::Combine(node.moc_acc[li], m) : m;
-        }
-        node.moc_has[li] = 1;
-        continue;
-      }
-      overflow.push_back(SpillEntry{dst, std::move(bytes)});
-      ++node.inbox_next.spilled;
-      continue;
-    }
-    if (unlimited || node.inbox_next.mem.size() < config_.msg_buffer_per_node) {
-      node.inbox_next.mem.emplace_back(dst, m);
-    } else {
-      overflow.push_back(SpillEntry{dst, std::move(bytes)});
-      ++node.inbox_next.spilled;
-    }
-  }
-  if (!overflow.empty()) {
-    HG_RETURN_IF_ERROR(node.inbox_next.spill->SpillRun(std::move(overflow)));
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::DrainStagedPushes(Node& node) {
-  // Apply the batches stashed by the kPushMessages handler, in sender order.
-  // Sequential execution delivered every batch from node 0 before any batch
-  // from node 1 (each sender ran its whole Phase B before the next), so this
-  // drain order reproduces the sequential inbox/moc/spill state exactly at
-  // any thread count.
-  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
-    for (const auto& payload : node.push_staged[src]) {
-      HG_RETURN_IF_ERROR(
-          HandlePushBatch(node, Slice(payload.data(), payload.size())));
-    }
-    node.push_staged[src].clear();
-  }
-  return Status::OK();
-}
-
-template <typename P>
-void Engine<P>::MergePullServe(Node& node) {
-  // Fold the per-requester Pull-Respond accounting into the node's counters
-  // in requester order — the order the sequential engine accumulated them —
-  // so float sums (cpu_seconds) are bit-identical at any thread count.
-  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
-    typename Node::PullServe& serve = node.pull_serve[src];
-    node.io.eblock_edge_bytes += serve.io.eblock_edge_bytes;
-    node.io.fragment_aux_bytes += serve.io.fragment_aux_bytes;
-    node.io.vrr_bytes += serve.io.vrr_bytes;
-    node.cpu_seconds += serve.cpu_seconds;
-    node.msgs_produced += serve.msgs_produced;
-    node.msgs_combined += serve.msgs_combined;
-    node.msgs_wire += serve.msgs_wire;
-    node.flushes += serve.flushes;
-    node.mem_highwater = std::max(node.mem_highwater, serve.bs_highwater);
-    serve = typename Node::PullServe{};
-  }
-}
-
-template <typename P>
-Status Engine<P>::FlushStaging(Node& node, NodeId dst, bool force) {
-  auto& stage = node.staging[dst];
-  const uint64_t bytes = stage.size() * kMsgRecordSize;
-  if (stage.empty()) return Status::OK();
-  if (!force && bytes < config_.sending_threshold_bytes) return Status::OK();
-
-  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> wire;
-  wire.reserve(stage.size());
-  std::vector<uint8_t> tmp(kMsgSize);
-  for (const auto& [v, m] : stage) {
-    PodCodec<Message>::Encode(m, tmp.data());
-    wire.emplace_back(v, tmp);
-  }
-  Buffer payload;
-  FlatBatchCodec::Encode(wire, kMsgSize, &payload);
-  node.msgs_wire += stage.size();
-  stage.clear();
-  node.combine_index[dst].clear();
-  ++node.flushes;
-  return transport_->Post(node.id, dst, RpcMethod::kPushMessages,
-                          payload.AsSlice());
-}
-
-template <typename P>
-Status Engine<P>::CollectPush(Node& node) {
-  // Merge the in-memory inbox with the spilled runs, grouped per vertex.
-  Inbox& inbox = node.inbox_cur;
-  for (const auto& [dst, m] : inbox.mem) {
-    AddPending(node, dst, m);
-  }
-  if (inbox.spill->num_runs() > 0) {
-    // Streaming k-way merge: never materializes the spilled volume. The
-    // drain's working set is the pending map plus num_runs ×
-    // spill_merge_buffer_bytes of run buffers.
-    HG_ASSIGN_OR_RETURN(auto it, inbox.spill->NewMergeIterator(
-                                     config_.spill_merge_buffer_bytes));
-    while (it->Valid()) {
-      const SpillEntry& e = it->entry();
-      AddPending(node, e.dst, PodCodec<Message>::Decode(e.payload.data()));
-      HG_RETURN_IF_ERROR(it->Next());
-    }
-    node.io.msg_spill_read += it->entries_read() * kMsgRecordSize;
-    node.cpu_seconds += config_.cpu.per_spilled_message_s *
-                        static_cast<double>(it->entries_read());
-    node.spill_buffer_peak =
-        std::max(node.spill_buffer_peak, it->buffer_bytes());
-    node.spill_resident_peak =
-        std::max(node.spill_resident_peak, it->peak_resident_entries());
-    node.spill_combined +=
-        inbox.spill->combined_at_spill() + it->merge_combined();
-    node.mem_highwater = std::max(node.mem_highwater, it->buffer_bytes());
-    HG_RETURN_IF_ERROR(inbox.spill->Clear());
-  }
-  // pushM: online accumulators are this superstep's messages for cached
-  // vertices.
-  if (config_.mode == EngineMode::kPushM) {
-    for (uint32_t li = 0; li < node.moc_has.size(); ++li) {
-      if (node.moc_has[li]) {
-        if constexpr (P::kCombinable) {
-          AddPending(node, node.range.begin + li, node.moc_acc[li]);
-        }
-        node.moc_has[li] = 0;
-      }
-    }
-  }
-  inbox.mem.clear();
-  inbox.total = 0;
-  inbox.spilled = 0;
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::HandlePullRequest(Node& node, NodeId requester, Slice payload,
-                                    Buffer* response) {
-  // Algorithm 2 (Pull-Respond) for Vblock b_i requested by `requester`.
-  // Runs in the requester's thread; all accounting goes to the per-requester
-  // staging slot (merged after the Phase A barrier) so concurrent pulls to
-  // this node never touch its shared counters.
-  typename Node::PullServe& serve = node.pull_serve[requester];
-  Decoder dec(payload);
-  uint32_t target_vb;
-  HG_RETURN_IF_ERROR(dec.GetFixed32(&target_vb));
-
-  // pullRes() generates the messages that push's pushRes() would have sent
-  // at the previous superstep, so it runs under that superstep's context
-  // (same GenMessage inputs either way — programs stay mode-agnostic).
-  SuperstepContext gen_ctx = ctx_;
-  gen_ctx.superstep = ctx_.superstep - 1;
-  gen_ctx.prev_aggregate = pull_gen_aggregate_;
-
-  // Sending buffer BS, grouped per destination vertex.
-  std::vector<GroupedBatchCodec::Group> groups;
-  std::vector<int64_t> group_of;  // dst (local to requester block) -> index
-  const VertexRange dst_range = partition_.VblockRange(target_vb);
-  group_of.assign(dst_range.size(), -1);
-
-  std::vector<uint8_t> value_bytes;
-  std::vector<uint8_t> msg_bytes(kMsgSize);
-  uint64_t produced = 0;
-  uint64_t combined_away = 0;
-
-  const uint32_t first_vb = partition_.FirstVblockOf(node.id);
-  const uint32_t last_vb = partition_.LastVblockOf(node.id);
-  for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
-    // Step 1-2: X_j.res and the bitmap gate the Eblock scan.
-    if (!node.vblock_res[vb - first_vb]) continue;
-    if (!node.ve->HasEdges(vb, target_vb)) continue;
-
-    VeBlockStore::ScanResult scan;
-    HG_RETURN_IF_ERROR(node.ve->ScanEblock(vb, target_vb, &scan));
-    serve.io.eblock_edge_bytes += scan.edge_bytes;
-    serve.io.fragment_aux_bytes += scan.aux_bytes;
-    // Decoding scans the whole Eblock, useless edges included (Appendix C:
-    // small V means big Eblocks whose extra edges waste bandwidth/CPU).
-    serve.cpu_seconds += config_.cpu.per_edge_s *
-                         static_cast<double>(node.ve->Index(vb, target_vb).num_edges);
-
-    for (const auto& frag : scan.fragments) {
-      if (!node.responding[node.LocalIdx(frag.src)]) continue;
-      // Random read of the source vertex triple (the IO(V_rr) cost).
-      HG_RETURN_IF_ERROR(node.vstore->ReadValueRandom(frag.src, &value_bytes));
-      serve.io.vrr_bytes += node.vstore->record_size();
-      const Value value = PodCodec<Value>::Decode(value_bytes.data());
-      const uint32_t out_degree = node.vstore->OutDegree(frag.src);
-
-      for (const auto& e : frag.edges) {
-        const Message m =
-            program_.GenMessage(frag.src, value, out_degree, e, gen_ctx);
-        ++produced;
-        serve.cpu_seconds += config_.cpu.per_message_s;
-        int64_t& gi = group_of[e.dst - dst_range.begin];
-        if (gi < 0) {
-          gi = static_cast<int64_t>(groups.size());
-          groups.push_back({e.dst, {}});
-        }
-        auto& payloads = groups[static_cast<size_t>(gi)].payloads;
-        const bool combine = P::kCombinable && config_.bpull_combining;
-        if (combine && !payloads.empty()) {
-          // Combine into the single slot.
-          const Message prev = PodCodec<Message>::Decode(payloads[0].data());
-          PodCodec<Message>::Encode(P::Combine(prev, m), payloads[0].data());
-          ++combined_away;
-        } else {
-          PodCodec<Message>::Encode(m, msg_bytes.data());
-          payloads.push_back(msg_bytes);
-          if (!combine && payloads.size() > 1) {
-            ++combined_away;  // concatenation: shares the dst id on the wire
-          }
-        }
-      }
-    }
-  }
-
-  serve.msgs_produced += produced;
-  serve.msgs_combined += combined_away;
-  serve.msgs_wire += produced - combined_away;
-  // BS memory accounting: grouped batch bytes staged before transfer.
-  const uint64_t bs_bytes = GroupedBatchCodec::EncodedSize(groups, kMsgSize);
-  serve.bs_highwater = std::max(serve.bs_highwater, bs_bytes);
-  // Flow control: the batch ships in threshold-sized packages, one in flight.
-  serve.flushes += bs_bytes == 0
-                       ? 0
-                       : (bs_bytes + config_.sending_threshold_bytes - 1) /
-                             std::max<uint64_t>(1, config_.sending_threshold_bytes);
-  GroupedBatchCodec::Encode(groups, kMsgSize, response);
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::CollectBPull(Node& node) {
-  // Algorithm 1 (Pull-Request): one request per local Vblock to every node.
-  Buffer req;
-  Encoder enc(&req);
-  std::vector<uint8_t> response;
-  std::vector<GroupedBatchCodec::Group> groups;
-  for (uint32_t vb = partition_.FirstVblockOf(node.id);
-       vb < partition_.LastVblockOf(node.id); ++vb) {
-    for (uint32_t y = 0; y < config_.num_nodes; ++y) {
-      req.Clear();
-      enc.PutFixed32(vb);
-      HG_RETURN_IF_ERROR(transport_->Call(node.id, y, RpcMethod::kPullRequest,
-                                          req.AsSlice(), &response));
-      groups.clear();
-      HG_RETURN_IF_ERROR(
-          GroupedBatchCodec::Decode(Slice(response), kMsgSize, &groups));
-      // BR memory accounting; pre-pull (combinable only) doubles BR.
-      const bool prepull = config_.pre_pull && P::kCombinable;
-      node.mem_highwater = std::max<uint64_t>(
-          node.mem_highwater, response.size() * (prepull ? 2 : 1));
-      for (const auto& g : groups) {
-        for (const auto& p : g.payloads) {
-          AddPending(node, g.dst, PodCodec<Message>::Decode(p.data()));
-        }
-      }
-    }
-  }
-  return Status::OK();
-}
-
-// ------------------------------------------------------------ update/produce
-
-template <typename P>
-Status Engine<P>::PhaseAConsume(Node& node) {
-  node.pending_count = 0;
-  const bool consume_push = prev_produce_ == EngineMode::kPush ||
-                            prev_produce_ == EngineMode::kPushM;
-  if (superstep_ == 0) return Status::OK();
-  if (consume_push) return CollectPush(node);
-  return CollectBPull(node);
-}
-
-template <typename P>
-Status Engine<P>::ProducePush(Node& node, uint32_t vb,
-                              const std::vector<uint8_t>& respond_in_vb,
-                              const std::vector<uint8_t>& block_values) {
-  // pushRes(): read the adjacency block once and broadcast along out-edges.
-  // Vertex values are still in hand from the update pass (compute() in
-  // Giraph is one pass), so no extra value I/O is charged here.
-  bool any = false;
-  for (uint8_t r : respond_in_vb) {
-    if (r) {
-      any = true;
-      break;
-    }
-  }
-  if (!any) return Status::OK();
-
-  std::vector<AdjacencyStore::VertexAdj> adj;
-  HG_RETURN_IF_ERROR(node.adj->ReadBlock(vb, &adj));
-  node.io.adj_edge_bytes += node.adj->BlockBytes(vb);
-  node.cpu_seconds +=
-      config_.cpu.per_edge_s * static_cast<double>(node.adj->BlockEdges(vb));
-
-  const VertexRange r = partition_.VblockRange(vb);
-  for (const auto& va : adj) {
-    const uint32_t in_block = va.id - r.begin;
-    if (!respond_in_vb[in_block]) continue;
-    const Value value = PodCodec<Value>::Decode(
-        block_values.data() + static_cast<size_t>(in_block) * P::kValueSize);
-    const uint32_t out_degree = node.vstore->OutDegree(va.id);
-    for (const auto& e : va.out) {
-      const Message m = program_.GenMessage(va.id, value, out_degree, e, ctx_);
-      ++node.msgs_produced;
-      node.cpu_seconds += config_.cpu.per_message_s;
-      NodeId dst_node = partition_.NodeOf(e.dst);
-      if (config_.push_sender_combining && P::kCombinable) {
-        // pushM+com (Appendix E): combine with a message for the same
-        // destination still sitting in this staging buffer.
-        auto& index = node.combine_index[dst_node];
-        auto [it, inserted] =
-            index.try_emplace(e.dst, node.staging[dst_node].size());
-        node.cpu_seconds += config_.cpu.per_combine_s;
-        if (!inserted) {
-          auto& slot = node.staging[dst_node][it->second];
-          slot.second = P::Combine(slot.second, m);
-          ++node.msgs_combined;
-          continue;
-        }
-      }
-      node.staging[dst_node].emplace_back(e.dst, m);
-      node.mem_highwater =
-          std::max<uint64_t>(node.mem_highwater,
-                             node.staging[dst_node].size() * kMsgRecordSize);
-      HG_RETURN_IF_ERROR(FlushStaging(node, dst_node, /*force=*/false));
-    }
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::PhaseBUpdateProduce(Node& node) {
-  const bool produce_push = mode_ == EngineMode::kPush ||
-                            mode_ == EngineMode::kPushM;
-  std::fill(node.responding_next.begin(), node.responding_next.end(), 0);
-  std::fill(node.vblock_res_next.begin(), node.vblock_res_next.end(), 0);
-
-  const uint32_t first_vb = partition_.FirstVblockOf(node.id);
-  const uint32_t last_vb = partition_.LastVblockOf(node.id);
-  std::vector<Message> no_msgs;
-  std::vector<uint8_t> values;
-  std::vector<uint8_t> respond_in_vb;
-
-  for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
-    const VertexRange r = partition_.VblockRange(vb);
-    // Does any vertex in this block need an update?
-    bool any_active = false;
-    for (VertexId v = r.begin; v < r.end && !any_active; ++v) {
-      const uint32_t li = node.LocalIdx(v);
-      any_active = P::kAlwaysActive
-                       ? (superstep_ > 0 || node.active[li])
-                       : (node.pending_has[li] || node.active[li]);
-    }
-    respond_in_vb.assign(r.size(), 0);
-    if (any_active) {
-      // IO(V^t): scan + write back the Vblock.
-      HG_RETURN_IF_ERROR(node.vstore->ReadBlock(vb, &values, IoClass::kSeqRead));
-      node.io.vt_bytes += node.vstore->BlockBytes(vb);
-      bool block_dirty = false;
-
-      for (VertexId v = r.begin; v < r.end; ++v) {
-        const uint32_t li = node.LocalIdx(v);
-        const bool has_msgs = node.pending_has[li] != 0;
-        const bool run_update =
-            P::kAlwaysActive ? (superstep_ > 0 || node.active[li])
-                             : (has_msgs || node.active[li]);
-        if (!run_update) continue;
-
-        Value value = PodCodec<Value>::Decode(
-            values.data() + static_cast<size_t>(v - r.begin) * P::kValueSize);
-        [[maybe_unused]] const Value old_value = value;
-        const auto& msgs = has_msgs ? node.pending[li] : no_msgs;
-        const UpdateResult res = program_.Update(v, &value, msgs, ctx_);
-        ++node.updated_vertices;
-        if constexpr (HasAggregator<P>) {
-          node.aggregate_partial +=
-              program_.AggregateContribution(v, old_value, value, ctx_);
-        }
-        node.cpu_seconds +=
-            config_.cpu.per_vertex_update_s +
-            config_.cpu.per_message_s * static_cast<double>(msgs.size());
-        if (res.changed) {
-          PodCodec<Value>::Encode(
-              value,
-              values.data() + static_cast<size_t>(v - r.begin) * P::kValueSize);
-          block_dirty = true;
-        }
-        if (res.respond) {
-          node.responding_next[li] = 1;
-          node.vblock_res_next[vb - first_vb] = 1;
-          respond_in_vb[v - r.begin] = 1;
-        }
-        // Consume messages.
-        if (has_msgs) {
-          node.pending[li].clear();
-          node.pending_has[li] = 0;
-        }
-        node.active[li] = 0;
-      }
-      if (block_dirty) {
-        HG_RETURN_IF_ERROR(
-            node.vstore->WriteBlock(vb, values, IoClass::kSeqWrite));
-        node.io.vt_bytes += node.vstore->BlockBytes(vb);
-      }
-    }
-    if (produce_push) {
-      HG_RETURN_IF_ERROR(ProducePush(node, vb, respond_in_vb, values));
-    }
-  }
-  if (produce_push) {
-    for (uint32_t y = 0; y < config_.num_nodes; ++y) {
-      HG_RETURN_IF_ERROR(FlushStaging(node, y, /*force=*/true));
-    }
-  }
-  return Status::OK();
-}
-
-// --------------------------------------------------------------- accounting
-
-template <typename P>
-void Engine<P>::BeginSuperstepAccounting() {
-  for (auto& node : nodes_) {
-    node.aggregate_partial = 0;
-    node.updated_vertices = 0;
-    node.msgs_produced = 0;
-    node.msgs_wire = 0;
-    node.msgs_combined = 0;
-    node.flushes = 0;
-    node.cpu_seconds = 0;
-    node.mem_highwater = 0;
-    node.spill_buffer_peak = 0;
-    node.spill_resident_peak = 0;
-    node.spill_combined = 0;
-    node.io = IoBreakdown{};
-    node.disk_snapshot = *node.storage->meter();
-    node.net_snapshot = *transport_->meter(node.id);
-  }
-  fault_snapshot_ = transport_->fault_counters();
-}
-
-template <typename P>
-uint64_t Engine<P>::ModeledMemoryBytes(const Node& node, EngineMode mode) const {
-  // Metadata kept in memory by b-pull/hybrid: X_j (counts/degrees ~ 24B) and
-  // the bitmap row per local Vblock.
-  uint64_t meta = 0;
-  if (node.ve) {
-    meta = static_cast<uint64_t>(partition_.NumVblocksOf(node.id)) *
-           (24 + partition_.num_vblocks() / 8 + 1);
-  }
-  uint64_t buffers = node.mem_highwater;
-  if (mode == EngineMode::kPush || mode == EngineMode::kPushM) {
-    buffers += node.inbox_next.mem.size() * kMsgRecordSize;
-    if (!node.moc_acc.empty()) {
-      buffers += node.moc_acc.size() * kMsgSize / 8;  // accumulator slots
-    }
-  }
-  return meta + buffers;
-}
-
-template <typename P>
-void Engine<P>::EndSuperstepAccounting(EngineMode produce_mode, bool switched) {
-  SuperstepMetrics m;
-  m.superstep = superstep_;
-  m.mode = produce_mode;
-  m.switched = switched;
-
-  double max_node_seconds = 0;
-  double max_blocking = 0;
-  for (auto& node : nodes_) {
-    m.messages_produced += node.msgs_produced;
-    m.messages_on_wire += node.msgs_wire;
-    m.messages_combined += node.msgs_combined;
-    m.messages_spilled += node.inbox_next.spilled;
-    m.io.vt_bytes += node.io.vt_bytes;
-    m.io.adj_edge_bytes += node.io.adj_edge_bytes;
-    m.io.eblock_edge_bytes += node.io.eblock_edge_bytes;
-    m.io.fragment_aux_bytes += node.io.fragment_aux_bytes;
-    m.io.vrr_bytes += node.io.vrr_bytes;
-    m.io.msg_spill_read += node.io.msg_spill_read;
-
-    const DiskMeter disk_delta =
-        node.storage->meter()->DeltaSince(node.disk_snapshot);
-    // Spill writes are the only random writes in push/b-pull paths.
-    m.io.msg_spill_write += disk_delta.bytes(IoClass::kRandWrite);
-    const uint64_t classified =
-        node.io.vt_bytes + node.io.adj_edge_bytes + node.io.eblock_edge_bytes +
-        node.io.fragment_aux_bytes + node.io.vrr_bytes +
-        node.io.msg_spill_read + disk_delta.bytes(IoClass::kRandWrite);
-    const uint64_t total = disk_delta.TotalBytes();
-    m.io.other_bytes += total > classified ? total - classified : 0;
-
-    const NetMeter net_delta =
-        transport_->meter(node.id)->DeltaSince(node.net_snapshot);
-    m.net_bytes += net_delta.bytes_sent;
-    m.net_frames += net_delta.frames_sent;
-
-    const double io_s =
-        config_.memory_resident ? 0.0 : disk_delta.ModeledSeconds(config_.disk);
-    const double send_s = config_.net.SecondsFor(net_delta.bytes_sent);
-    const double recv_s = config_.net.SecondsFor(net_delta.bytes_received);
-    const double net_s = std::max(send_s, recv_s);
-    // Blocking: per-flush connection overhead + the unoverlapped tail (the
-    // last package can never overlap with compute) + any transfer time not
-    // hidden behind local work.
-    const double work_s = node.cpu_seconds + io_s;
-    const double tail_s = config_.net.SecondsFor(std::min<uint64_t>(
-        config_.sending_threshold_bytes, net_delta.bytes_sent));
-    const double blocking_s =
-        static_cast<double>(node.flushes) * config_.flush_overhead_s + tail_s +
-        std::max(0.0, net_s - work_s);
-    const double node_s = work_s + blocking_s;
-
-    m.cpu_seconds += node.cpu_seconds;
-    m.io_seconds += io_s;
-    m.net_seconds += net_s;
-    max_blocking = std::max(max_blocking, blocking_s);
-    max_node_seconds = std::max(max_node_seconds, node_s);
-
-    const uint64_t mem = ModeledMemoryBytes(node, produce_mode);
-    m.memory_highwater_bytes += mem;
-
-    m.spill_merge_buffer_bytes =
-        std::max(m.spill_merge_buffer_bytes, node.spill_buffer_peak);
-    m.spill_peak_resident =
-        std::max(m.spill_peak_resident, node.spill_resident_peak);
-    m.spill_combined += node.spill_combined;
-
-    uint64_t responding = 0;
-    for (uint8_t r : node.responding_next) responding += r;
-    m.responding_vertices += responding;
-    m.active_vertices += node.updated_vertices;
-  }
-  m.blocking_seconds = max_blocking;
-  m.superstep_seconds = max_node_seconds;
-
-  const TransportFaultCounters faults =
-      transport_->fault_counters().DeltaSince(fault_snapshot_);
-  m.net_retries = faults.retries;
-  m.net_timeouts = faults.timeouts;
-  m.net_reconnects = faults.reconnects;
-
-  EvaluateSwitch(&m);
-  stats_.supersteps.push_back(m);
-  stats_.modeled_seconds += m.superstep_seconds;
-}
-
-// -------------------------------------------------------------------- hybrid
-
-template <typename P>
-typename Engine<P>::PushCostEstimate Engine<P>::EstimateCioPush(
-    uint64_t msgs) const {
-  // Eq. (7): IO(V^t) + IO(E~^t) + 2 IO(M_disk), estimated from metadata and
-  // the responding flags while running b-pull ("we can figure out the set of
-  // required Eblocks ... based on the distribution of edges used in
-  // pushRes()", Sec 5.3 — here the adjacency blocks play that role).
-  PushCostEstimate est;
-  for (const auto& node : nodes_) {
-    if (!node.adj) continue;
-    const uint32_t first_vb = partition_.FirstVblockOf(node.id);
-    const uint32_t last_vb = partition_.LastVblockOf(node.id);
-    for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
-      if (node.vblock_res_next[vb - first_vb]) {
-        est.adj_bytes += static_cast<double>(node.adj->BlockBytes(vb));
-        est.vt_bytes += static_cast<double>(node.vstore->BlockBytes(vb));
-      }
-    }
-  }
-  const uint64_t b_total =
-      config_.msg_buffer_per_node == UINT64_MAX
-          ? UINT64_MAX
-          : config_.msg_buffer_per_node * config_.num_nodes;
-  const uint64_t mdisk =
-      (b_total == UINT64_MAX || msgs <= b_total) ? 0 : msgs - b_total;
-  est.mdisk_bytes = static_cast<double>(mdisk) * kMsgRecordSize;
-  return est;
-}
-
-template <typename P>
-typename Engine<P>::BPullCostEstimate Engine<P>::EstimateCioBPull() const {
-  // Eq. (8) estimated from the VE-BLOCK index over Eblocks that responding
-  // Vblocks would serve next superstep.
-  BPullCostEstimate est;
-  for (const auto& node : nodes_) {
-    if (!node.ve) continue;
-    const uint32_t first_vb = partition_.FirstVblockOf(node.id);
-    const uint32_t last_vb = partition_.LastVblockOf(node.id);
-    for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
-      if (!node.vblock_res_next[vb - first_vb]) continue;
-      est.vt_bytes += static_cast<double>(node.vstore->BlockBytes(vb));
-      // Pull-Respond scans whole Eblocks (full e/f bytes) but reads source
-      // values only for responding fragments — scale V_rr by the vblock's
-      // responding fraction.
-      const VertexRange r = partition_.VblockRange(vb);
-      uint64_t responding = 0;
-      for (VertexId v = r.begin; v < r.end; ++v) {
-        responding += node.responding_next[node.LocalIdx(v)];
-      }
-      const double frac =
-          r.size() ? static_cast<double>(responding) / r.size() : 0.0;
-      for (uint32_t dst = 0; dst < partition_.num_vblocks(); ++dst) {
-        const auto& idx = node.ve->Index(vb, dst);
-        est.e_bytes += static_cast<double>(idx.edge_bytes);
-        est.f_bytes += static_cast<double>(idx.aux_bytes);
-        est.vrr_bytes += static_cast<double>(idx.num_fragments) * frac *
-                         node.vstore->record_size();
-      }
-    }
-  }
-  return est;
-}
-
-template <typename P>
-void Engine<P>::EvaluateSwitch(SuperstepMetrics* m) {
-  const bool ran_bpull = m->mode == EngineMode::kBPull;
-  const uint64_t msgs = m->messages_produced;
-  const uint64_t b_total =
-      config_.msg_buffer_per_node == UINT64_MAX
-          ? UINT64_MAX
-          : config_.msg_buffer_per_node * config_.num_nodes;
-
-  // Q_t predicts superstep t+Δt. For Traversal-Style workloads the message
-  // volume moves fast (Sec 5.3 / Appendix G), so extrapolate M with the
-  // recent growth of the responding-vertex count over the Δt horizon.
-  // (Responding counts, unlike message counts, are aligned identically under
-  // push and b-pull production, so the trend survives mode switches.)
-  // Always-Active workloads have growth 1 and are unaffected.
-  double growth = prev_responding_ > 0 && m->responding_vertices > 0
-                      ? static_cast<double>(m->responding_vertices) /
-                            static_cast<double>(prev_responding_)
-                      : 1.0;
-  growth = std::clamp(growth, 0.25, 4.0);
-  const double predicted_msgs =
-      static_cast<double>(msgs) *
-      std::pow(growth, static_cast<double>(config_.switch_interval));
-  prev_responding_ = m->responding_vertices;
-
-  const double mdisk_bytes =
-      (b_total == UINT64_MAX || predicted_msgs <= static_cast<double>(b_total))
-          ? 0.0
-          : (predicted_msgs - static_cast<double>(b_total)) * kMsgRecordSize;
-
-  // Observed-or-estimated quantities for this superstep (the series the
-  // paper's Figs 11-13 check prediction accuracy against), plus the
-  // component split Eq. (11) needs.
-  double mco, cio_push, cio_bpull;
-  double io_et_adj, io_e, io_f, io_vrr;
-  if (ran_bpull) {
-    mco = static_cast<double>(m->messages_combined);
-    if (msgs > 0) {
-      last_rco_ = mco / static_cast<double>(msgs);
-    }
-    io_e = static_cast<double>(m->io.eblock_edge_bytes);
-    io_f = static_cast<double>(m->io.fragment_aux_bytes);
-    io_vrr = static_cast<double>(m->io.vrr_bytes);
-    cio_bpull = static_cast<double>(m->io.vt_bytes) + io_e + io_f + io_vrr;
-    const PushCostEstimate est = EstimateCioPush(msgs);
-    io_et_adj = est.adj_bytes;
-    cio_push = est.Total();
-  } else {
-    mco = static_cast<double>(msgs) * last_rco_;
-    io_et_adj = static_cast<double>(m->io.adj_edge_bytes);
-    cio_push = static_cast<double>(m->io.vt_bytes) + io_et_adj +
-               static_cast<double>(m->io.msg_spill_write + m->io.msg_spill_read);
-    const BPullCostEstimate est = EstimateCioBPull();
-    io_e = est.e_bytes;
-    io_f = est.f_bytes;
-    io_vrr = est.vrr_bytes;
-    cio_bpull = est.Total();
-  }
-  m->actual_mco = mco;
-  m->actual_cio_push = cio_push;
-  m->actual_cio_bpull = cio_bpull;
-  const double trend = msgs > 0 ? predicted_msgs / msgs : 1.0;
-  m->predicted_mco = mco * trend;
-  m->predicted_cio_push = cio_push * trend;
-  m->predicted_cio_bpull = cio_bpull;
-
-  // Eq. (11). Byte_m: one destination id if concatenated, a whole message if
-  // combined. Under sufficient memory no data is disk-resident, so only the
-  // communication term remains and b-pull's combining gain dominates the
-  // sign (Sec 6.1).
-  const double byte_m = P::kCombinable ? (4.0 + kMsgSize) : 4.0;
-  const double mb = 1024.0 * 1024.0;
-  double q = (mco * trend * byte_m) / (config_.net.mbps * mb);
-  if (!config_.memory_resident) {
-    if (config_.qt_use_table3_throughputs) {
-      // The paper's literal Eq. (11) with the fio calibration numbers.
-      q += mdisk_bytes / (config_.disk.qt_rand_write_mbps * mb) -
-           io_vrr / (config_.disk.qt_rand_read_mbps * mb) +
-           (io_et_adj + mdisk_bytes - io_e - io_f) /
-               (config_.disk.qt_seq_read_mbps * mb);
-    } else {
-      // Same algebra, but with the costs the runtime model actually charges:
-      // spill writes hit the device; spill read-back and graph re-reads are
-      // page-cached (RAM); V_rr pays the per-operation overhead; spilled
-      // messages additionally pay push's sort-merge CPU — the term that
-      // keeps push slow even on SSDs (Sec 6.1).
-      const double vrr_ops =
-          io_vrr / static_cast<double>(8 + P::kValueSize);
-      const double spilled_msgs = mdisk_bytes / kMsgRecordSize;
-      q += mdisk_bytes / (config_.disk.rand_write_mbps * mb) +
-           spilled_msgs * config_.cpu.per_spilled_message_s -
-           vrr_ops * config_.disk.per_random_op_s -
-           io_vrr / (kRamMbps * mb) +
-           (io_et_adj + mdisk_bytes - io_e - io_f) / (kRamMbps * mb);
-    }
-  }
-  m->q_t = q;
-
-  if (config_.mode != EngineMode::kHybrid) return;
-  // Superstep 0 only establishes responding flags under b-pull production —
-  // no message exchange yet, so there is nothing to evaluate.
-  if (superstep_ == 0 && m->messages_produced == 0) return;
-  // Δt suppression: switching every superstep is not cost effective.
-  if (superstep_ - last_switch_superstep_ < config_.switch_interval) return;
-  const EngineMode desired = q >= 0 ? EngineMode::kBPull : EngineMode::kPush;
-  if (desired != mode_) {
-    last_switch_superstep_ = superstep_;
-    mode_ = desired;
-  }
-}
-
-// -------------------------------------------------------------- checkpoints
-
-namespace ckpt_detail {
-constexpr uint32_t kMagic = 0x48474350;  // "HGCP"
-// v2 appends an FNV-1a checksum trailer over the whole image, so a torn
-// write (crash mid-checkpoint) is detected at restore instead of decoding
-// garbage. v1 images (no trailer) are no longer accepted.
-constexpr uint32_t kVersion = 2;
-constexpr size_t kTrailerSize = 8;
-}  // namespace ckpt_detail
-
-template <typename P>
-Status Engine<P>::WriteCheckpoint(Buffer* out) {
-  if (!loaded_) return Status::FailedPrecondition("Load() first");
-  const size_t image_start = out->size();
-  Encoder enc(out);
-  enc.PutFixed32(ckpt_detail::kMagic);
-  enc.PutFixed32(ckpt_detail::kVersion);
-  enc.PutVarint64(static_cast<uint64_t>(superstep_));
-  enc.PutU8(static_cast<uint8_t>(mode_));
-  enc.PutU8(static_cast<uint8_t>(prev_produce_));
-  enc.PutU8(converged_ ? 1 : 0);
-  enc.PutSignedVarint64(last_switch_superstep_);
-  enc.PutDouble(last_rco_);
-  enc.PutVarint64(prev_responding_);
-  enc.PutDouble(ctx_.prev_aggregate);
-
-  std::vector<uint8_t> values;
-  for (auto& node : nodes_) {
-    // Per-node fail-point: a crash here leaves a partial image with no
-    // checksum trailer — exactly the torn write RestoreCheckpoint must
-    // reject (see recovery_test).
-    HG_FAIL_POINT("ckpt.write");
-    // Vertex values, per Vblock.
-    for (uint32_t vb = partition_.FirstVblockOf(node.id);
-         vb < partition_.LastVblockOf(node.id); ++vb) {
-      HG_RETURN_IF_ERROR(node.vstore->ReadBlock(vb, &values, IoClass::kSeqRead));
-      enc.PutLengthPrefixed(Slice(values.data(), values.size()));
-    }
-    // Flags.
-    enc.PutLengthPrefixed(Slice(node.active.data(), node.active.size()));
-    enc.PutLengthPrefixed(
-        Slice(node.responding.data(), node.responding.size()));
-    enc.PutLengthPrefixed(
-        Slice(node.vblock_res.data(), node.vblock_res.size()));
-    // Undelivered inbox (memory part + spilled runs).
-    std::vector<std::pair<VertexId, Message>> msgs = node.inbox_cur.mem;
-    if (node.inbox_cur.spill->num_runs() > 0) {
-      std::vector<SpillEntry> spilled;
-      HG_RETURN_IF_ERROR(node.inbox_cur.spill->MergeReadAll(&spilled));
-      for (const auto& e : spilled) {
-        msgs.emplace_back(e.dst, PodCodec<Message>::Decode(e.payload.data()));
-      }
-    }
-    enc.PutVarint64(msgs.size());
-    for (const auto& [dst, m] : msgs) {
-      enc.PutFixed32(dst);
-      uint8_t tmp[kMsgSize];
-      PodCodec<Message>::Encode(m, tmp);
-      enc.PutRaw(tmp, kMsgSize);
-    }
-  }
-  enc.PutFixed64(
-      Fnv1a64(out->data() + image_start, out->size() - image_start));
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::RestoreCheckpoint(Slice data) {
-  if (!loaded_) return Status::FailedPrecondition("Load() first");
-  HG_FAIL_POINT("ckpt.restore");
-  if (data.size() < 8 + ckpt_detail::kTrailerSize) {
-    return Status::Corruption("checkpoint image too small");
-  }
-  const size_t body_size = data.size() - ckpt_detail::kTrailerSize;
-  {
-    Decoder trailer(
-        Slice(data.data() + body_size, ckpt_detail::kTrailerSize));
-    uint64_t stored = 0;
-    HG_RETURN_IF_ERROR(trailer.GetFixed64(&stored));
-    if (stored != Fnv1a64(data.data(), body_size)) {
-      return Status::Corruption(
-          "checkpoint checksum mismatch (torn or corrupted image)");
-    }
-  }
-  data = Slice(data.data(), body_size);
-  Decoder dec(data);
-  uint32_t magic, version;
-  HG_RETURN_IF_ERROR(dec.GetFixed32(&magic));
-  HG_RETURN_IF_ERROR(dec.GetFixed32(&version));
-  if (magic != ckpt_detail::kMagic) return Status::Corruption("bad checkpoint magic");
-  if (version != ckpt_detail::kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
-  }
-  uint64_t superstep, prev_resp;
-  uint8_t mode, prev_produce, converged;
-  int64_t last_switch;
-  HG_RETURN_IF_ERROR(dec.GetVarint64(&superstep));
-  HG_RETURN_IF_ERROR(dec.GetU8(&mode));
-  HG_RETURN_IF_ERROR(dec.GetU8(&prev_produce));
-  HG_RETURN_IF_ERROR(dec.GetU8(&converged));
-  HG_RETURN_IF_ERROR(dec.GetSignedVarint64(&last_switch));
-  HG_RETURN_IF_ERROR(dec.GetDouble(&last_rco_));
-  HG_RETURN_IF_ERROR(dec.GetVarint64(&prev_resp));
-  HG_RETURN_IF_ERROR(dec.GetDouble(&ctx_.prev_aggregate));
-  superstep_ = static_cast<int>(superstep);
-  mode_ = static_cast<EngineMode>(mode);
-  prev_produce_ = static_cast<EngineMode>(prev_produce);
-  converged_ = converged != 0;
-  last_switch_superstep_ = static_cast<int>(last_switch);
-  prev_responding_ = prev_resp;
-
-  auto restore_flags = [&](std::vector<uint8_t>* flags) -> Status {
-    Slice raw;
-    HG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&raw));
-    if (raw.size() != flags->size()) {
-      return Status::Corruption("checkpoint flag size mismatch");
-    }
-    std::copy(raw.data(), raw.data() + raw.size(), flags->begin());
-    return Status::OK();
-  };
-
-  for (auto& node : nodes_) {
-    for (uint32_t vb = partition_.FirstVblockOf(node.id);
-         vb < partition_.LastVblockOf(node.id); ++vb) {
-      Slice raw;
-      HG_RETURN_IF_ERROR(dec.GetLengthPrefixed(&raw));
-      std::vector<uint8_t> values(raw.data(), raw.data() + raw.size());
-      HG_RETURN_IF_ERROR(
-          node.vstore->WriteBlock(vb, values, IoClass::kSeqWrite));
-    }
-    HG_RETURN_IF_ERROR(restore_flags(&node.active));
-    HG_RETURN_IF_ERROR(restore_flags(&node.responding));
-    HG_RETURN_IF_ERROR(restore_flags(&node.vblock_res));
-
-    node.inbox_cur.mem.clear();
-    node.inbox_cur.total = 0;
-    node.inbox_cur.spilled = 0;
-    HG_RETURN_IF_ERROR(node.inbox_cur.spill->Clear());
-    // Also sweep the next-superstep spill: recovery may restore into storage
-    // that still holds a dead incarnation's runs (including unregistered
-    // orphans a mid-spill crash left behind); Clear() deletes by prefix.
-    node.inbox_next.mem.clear();
-    node.inbox_next.total = 0;
-    node.inbox_next.spilled = 0;
-    HG_RETURN_IF_ERROR(node.inbox_next.spill->Clear());
-    uint64_t count;
-    HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
-    const bool unlimited =
-        config_.msg_buffer_per_node == UINT64_MAX || config_.memory_resident;
-    std::vector<SpillEntry> overflow;
-    for (uint64_t i = 0; i < count; ++i) {
-      uint32_t dst;
-      Slice payload;
-      HG_RETURN_IF_ERROR(dec.GetFixed32(&dst));
-      HG_RETURN_IF_ERROR(dec.GetRaw(kMsgSize, &payload));
-      ++node.inbox_cur.total;
-      if (unlimited ||
-          node.inbox_cur.mem.size() < config_.msg_buffer_per_node) {
-        node.inbox_cur.mem.emplace_back(
-            dst, PodCodec<Message>::Decode(payload.data()));
-      } else {
-        overflow.push_back(SpillEntry{
-            dst, std::vector<uint8_t>(payload.data(),
-                                      payload.data() + payload.size())});
-        ++node.inbox_cur.spilled;
-      }
-    }
-    if (!overflow.empty()) {
-      HG_RETURN_IF_ERROR(node.inbox_cur.spill->SpillRun(std::move(overflow)));
-    }
-  }
-  if (!dec.AtEnd()) return Status::Corruption("trailing checkpoint bytes");
-  stats_.supersteps_run = superstep_;
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------- run loop
-
-template <typename P>
-Status Engine<P>::RunSuperstep() {
-  if (!loaded_) return Status::FailedPrecondition("Load() first");
-  ctx_.superstep = superstep_;
-  BeginSuperstepAccounting();
-
-  const EngineMode produce_mode =
-      (config_.mode == EngineMode::kPush || config_.mode == EngineMode::kPushM)
-          ? config_.mode
-          : (config_.mode == EngineMode::kBPull ? EngineMode::kBPull : mode_);
-  const bool switched = superstep_ > 0 && produce_mode != prev_produce_;
-
-  // Phase A on all nodes, then Phase B on all nodes: BSP-consistent pulls.
-  // Each phase fans out across the pool (one task per node) with a barrier
-  // in between; the staged cross-node effects (pull-serve accounting, pushed
-  // batches) are drained sequentially in fixed node order right after each
-  // barrier so every counter and float sum matches the single-thread run.
-  HG_RETURN_IF_ERROR(pool_->ParallelFor(
-      config_.num_nodes, [this](uint32_t i) { return PhaseAConsume(nodes_[i]); }));
-  for (auto& node : nodes_) {
-    MergePullServe(node);
-  }
-  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
-    return PhaseBUpdateProduce(nodes_[i]);
-  }));
-  // The drain itself is node-local (each node applies only its own staged
-  // batches), so it parallelizes too; sender order inside a node is fixed.
-  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
-    return DrainStagedPushes(nodes_[i]);
-  }));
-
-  // Aggregator barrier: partial sums travel to the master and the global
-  // value is broadcast back (metered control traffic), becoming visible to
-  // the next superstep's Update calls.
-  double aggregate = 0;
-  if constexpr (HasAggregator<P>) {
-    Buffer payload;
-    Encoder enc(&payload);
-    for (auto& node : nodes_) {
-      aggregate += node.aggregate_partial;
-      if (node.id != 0) {
-        payload.Clear();
-        enc.PutDouble(node.aggregate_partial);
-        HG_RETURN_IF_ERROR(transport_->Post(node.id, 0, RpcMethod::kControl,
-                                            payload.AsSlice()));
-      }
-    }
-    for (uint32_t y = 1; y < config_.num_nodes; ++y) {
-      payload.Clear();
-      enc.PutDouble(aggregate);
-      HG_RETURN_IF_ERROR(
-          transport_->Post(0, y, RpcMethod::kControl, payload.AsSlice()));
-    }
-    pull_gen_aggregate_ = ctx_.prev_aggregate;
-    ctx_.prev_aggregate = aggregate;
-  }
-
-  // Metrics and the switching decision read next-superstep flags, so they
-  // run before the barrier swap.
-  EndSuperstepAccounting(produce_mode, switched);
-  stats_.supersteps.back().aggregate = aggregate;
-
-  // Barrier: promote next-superstep state.
-  uint64_t responding_total = 0;
-  uint64_t inflight = 0;
-  for (auto& node : nodes_) {
-    node.responding.swap(node.responding_next);
-    node.vblock_res.swap(node.vblock_res_next);
-    std::swap(node.inbox_cur, node.inbox_next);
-    for (uint8_t r : node.responding) responding_total += r;
-    inflight += node.inbox_cur.total;
-  }
-
-  prev_produce_ = produce_mode;
-  ++superstep_;
-  stats_.supersteps_run = superstep_;
-
-  if (responding_total == 0 && inflight == 0 && superstep_ > 0) {
-    converged_ = true;
-  }
-  if constexpr (HasAggregateHalt<P>) {
-    if (superstep_ > 1 && program_.ShouldHalt(aggregate)) {
-      converged_ = true;
-    }
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status Engine<P>::Run() {
-  const auto start = std::chrono::steady_clock::now();
-  while (superstep_ < config_.max_supersteps && !converged_) {
-    HG_RETURN_IF_ERROR(RunSuperstep());
-  }
-  stats_.converged = converged_;
-  stats_.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return Status::OK();
-}
-
-template <typename P>
-Result<std::vector<typename P::Value>> Engine<P>::GatherValues() {
-  std::vector<Value> out(partition_.num_vertices());
-  std::vector<uint8_t> values;
-  for (auto& node : nodes_) {
-    for (uint32_t vb = partition_.FirstVblockOf(node.id);
-         vb < partition_.LastVblockOf(node.id); ++vb) {
-      HG_RETURN_IF_ERROR(
-          node.vstore->ReadBlock(vb, &values, IoClass::kSeqRead));
-      const VertexRange r = partition_.VblockRange(vb);
-      for (uint32_t i = 0; i < r.size(); ++i) {
-        out[r.begin + i] = PodCodec<Value>::Decode(
-            values.data() + static_cast<size_t>(i) * P::kValueSize);
-      }
-    }
-  }
-  return out;
-}
 
 }  // namespace hybridgraph

@@ -164,6 +164,11 @@ struct JobConfig {
   bool use_file_storage = false;
   std::string storage_dir = "/tmp/hybridgraph";
 
+  /// Write a chrome://tracing (Trace Event Format) JSON of the per-phase,
+  /// per-node superstep spans to this path after Run(). Empty disables
+  /// collection entirely (zero overhead on the hot path).
+  std::string trace_path;
+
   uint64_t seed = 42;
 
   /// Job properties that only the engine knows at Load() time but that

@@ -1,0 +1,161 @@
+#include "core/message_flow.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "io/message_spill.h"
+#include "net/message_codec.h"
+
+namespace hybridgraph {
+
+Status ApplyPushBatch(NodeState& node, Slice payload,
+                      const PushApplyPolicy& policy) {
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> msgs;
+  HG_RETURN_IF_ERROR(FlatBatchCodec::Decode(payload, policy.msg_size, &msgs));
+
+  std::vector<SpillEntry> overflow;
+  for (auto& [dst, bytes] : msgs) {
+    const uint32_t li = node.LocalIdx(dst);
+    ++node.inbox_next.total;
+    if (policy.online_compute) {
+      // MOCgraph online computing: messages for memory-resident vertices are
+      // folded into the accumulator immediately and never stored.
+      if (node.moc_cached[li]) {
+        if (policy.combinable) {
+          uint8_t* acc =
+              node.moc_acc.data() + static_cast<size_t>(li) * policy.msg_size;
+          if (node.moc_has[li]) {
+            policy.combiner(acc, bytes.data());
+          } else {
+            std::memcpy(acc, bytes.data(), policy.msg_size);
+          }
+        }
+        node.moc_has[li] = 1;
+        continue;
+      }
+      overflow.push_back(SpillEntry{dst, std::move(bytes)});
+      ++node.inbox_next.spilled;
+      continue;
+    }
+    if (policy.unlimited || node.inbox_next.count() < policy.buffer_cap) {
+      node.inbox_next.Append(dst, bytes.data());
+    } else {
+      overflow.push_back(SpillEntry{dst, std::move(bytes)});
+      ++node.inbox_next.spilled;
+    }
+  }
+  if (!overflow.empty()) {
+    HG_RETURN_IF_ERROR(node.inbox_next.spill()->SpillRun(std::move(overflow)));
+  }
+  return Status::OK();
+}
+
+Status DrainStagedPushBatches(NodeState& node, uint32_t num_nodes,
+                              const PushApplyPolicy& policy) {
+  for (uint32_t src = 0; src < num_nodes; ++src) {
+    for (const auto& payload : node.push_staged[src]) {
+      HG_RETURN_IF_ERROR(ApplyPushBatch(
+          node, Slice(payload.data(), payload.size()), policy));
+    }
+    node.push_staged[src].clear();
+  }
+  return Status::OK();
+}
+
+Status CollectPushMessages(NodeState& node, const PushCollectPolicy& policy) {
+  // Merge the in-memory inbox with the spilled runs, grouped per vertex.
+  MessageInbox& inbox = node.inbox_cur;
+  for (size_t i = 0; i < inbox.count(); ++i) {
+    node.pending.Add(node.LocalIdx(inbox.dst(i)), inbox.payload(i));
+  }
+  if (inbox.spill()->num_runs() > 0) {
+    // Streaming k-way merge: never materializes the spilled volume. The
+    // drain's working set is the pending map plus num_runs ×
+    // spill_merge_buffer_bytes of run buffers.
+    HG_ASSIGN_OR_RETURN(auto it, inbox.spill()->NewMergeIterator(
+                                     policy.spill_merge_buffer_bytes));
+    while (it->Valid()) {
+      const SpillEntry& e = it->entry();
+      node.pending.Add(node.LocalIdx(e.dst), e.payload.data());
+      HG_RETURN_IF_ERROR(it->Next());
+    }
+    node.io.msg_spill_read += it->entries_read() * policy.msg_record_size;
+    node.cpu_seconds += policy.per_spilled_message_s *
+                        static_cast<double>(it->entries_read());
+    node.spill_buffer_peak =
+        std::max(node.spill_buffer_peak, it->buffer_bytes());
+    node.spill_resident_peak =
+        std::max(node.spill_resident_peak, it->peak_resident_entries());
+    node.spill_combined +=
+        inbox.spill()->combined_at_spill() + it->merge_combined();
+    node.mem_highwater = std::max(node.mem_highwater, it->buffer_bytes());
+    HG_RETURN_IF_ERROR(inbox.spill()->Clear());
+  }
+  // pushM: online accumulators are this superstep's messages for cached
+  // vertices.
+  if (policy.online_compute) {
+    for (uint32_t li = 0; li < node.moc_has.size(); ++li) {
+      if (node.moc_has[li]) {
+        if (policy.combinable) {
+          node.pending.Add(
+              li, node.moc_acc.data() + static_cast<size_t>(li) * policy.msg_size);
+        }
+        node.moc_has[li] = 0;
+      }
+    }
+  }
+  inbox.ClearMem();
+  return Status::OK();
+}
+
+Status CollectBPullMessages(NodeState& node, const RangePartition& partition,
+                            Transport& transport,
+                            const BPullCollectPolicy& policy) {
+  // Algorithm 1 (Pull-Request): one request per local Vblock to every node.
+  Buffer req;
+  Encoder enc(&req);
+  std::vector<uint8_t> response;
+  std::vector<GroupedBatchCodec::Group> groups;
+  for (uint32_t vb = partition.FirstVblockOf(node.id);
+       vb < partition.LastVblockOf(node.id); ++vb) {
+    for (uint32_t y = 0; y < policy.num_nodes; ++y) {
+      req.Clear();
+      enc.PutFixed32(vb);
+      HG_RETURN_IF_ERROR(transport.Call(node.id, y, RpcMethod::kPullRequest,
+                                        req.AsSlice(), &response));
+      groups.clear();
+      HG_RETURN_IF_ERROR(
+          GroupedBatchCodec::Decode(Slice(response), policy.msg_size, &groups));
+      // BR memory accounting; pre-pull (combinable only) doubles BR.
+      node.mem_highwater = std::max<uint64_t>(
+          node.mem_highwater, response.size() * (policy.prepull_double ? 2 : 1));
+      for (const auto& g : groups) {
+        for (const auto& p : g.payloads) {
+          node.pending.Add(node.LocalIdx(g.dst), p.data());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FlushStagedMessages(NodeState& node, Transport& transport, NodeId dst,
+                           bool force, uint64_t sending_threshold_bytes,
+                           size_t msg_record_size) {
+  const size_t staged = node.staging.count(dst);
+  const uint64_t bytes = staged * msg_record_size;
+  if (staged == 0) return Status::OK();
+  if (!force && bytes < sending_threshold_bytes) return Status::OK();
+
+  Buffer payload;
+  node.staging.EncodeBatch(dst, &payload);
+  node.msgs_wire += staged;
+  node.staging.Clear(dst);
+  ++node.flushes;
+  return transport.Post(node.id, dst, RpcMethod::kPushMessages,
+                        payload.AsSlice());
+}
+
+}  // namespace hybridgraph

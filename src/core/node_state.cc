@@ -1,0 +1,23 @@
+#include "core/node_state.h"
+
+#include <algorithm>
+
+namespace hybridgraph {
+
+void MergePullServeCounters(NodeState& node, uint32_t num_nodes) {
+  for (uint32_t src = 0; src < num_nodes; ++src) {
+    NodeState::PullServe& serve = node.pull_serve[src];
+    node.io.eblock_edge_bytes += serve.io.eblock_edge_bytes;
+    node.io.fragment_aux_bytes += serve.io.fragment_aux_bytes;
+    node.io.vrr_bytes += serve.io.vrr_bytes;
+    node.cpu_seconds += serve.cpu_seconds;
+    node.msgs_produced += serve.msgs_produced;
+    node.msgs_combined += serve.msgs_combined;
+    node.msgs_wire += serve.msgs_wire;
+    node.flushes += serve.flushes;
+    node.mem_highwater = std::max(node.mem_highwater, serve.bs_highwater);
+    serve = NodeState::PullServe{};
+  }
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,117 @@
+// Per-node runtime state for the block-centric engine (push / pushM / b-pull
+// / hybrid), shared by every MessagePath that runs over the SuperstepDriver.
+//
+// Everything here is deliberately non-template: message and value payloads
+// are kept as raw encoded bytes (PodCodec is a memcpy round trip, so raw
+// storage is bit-identical to the typed vectors the monolithic engine used),
+// which lets the containers, the counters and the accounting over them
+// compile once in src/core/*.cc instead of per Program instantiation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/inbox.h"
+#include "core/run_metrics.h"
+#include "core/send_staging.h"
+#include "graph/adjacency_store.h"
+#include "graph/partition.h"
+#include "graph/ve_block_store.h"
+#include "graph/vertex_store.h"
+#include "io/storage.h"
+#include "net/transport.h"
+
+namespace hybridgraph {
+
+/// One simulated cluster node: its storage layouts, runtime flags, message
+/// containers and per-superstep counters. MessagePath strategies own the
+/// typed logic (GenMessage/Update/Combine); NodeState owns the data.
+struct NodeState {
+  NodeId id = 0;
+  std::unique_ptr<StorageService> storage;
+  std::unique_ptr<VertexValueStore> vstore;
+  std::unique_ptr<AdjacencyStore> adj;
+  std::unique_ptr<VeBlockStore> ve;
+
+  VertexRange range;
+  // Runtime flags, indexed by (v - range.begin).
+  std::vector<uint8_t> active;
+  std::vector<uint8_t> responding;
+  std::vector<uint8_t> responding_next;
+  // X_j.res per local Vblock (indexed by global vb - first_vb).
+  std::vector<uint8_t> vblock_res;
+  std::vector<uint8_t> vblock_res_next;
+
+  MessageInbox inbox_cur;
+  MessageInbox inbox_next;
+
+  // pushM online accumulators for cached ("memory-resident") vertices.
+  // moc_acc holds one raw message payload per local vertex (combinable
+  // programs only); moc_slots is the slot count for the modeled-memory
+  // charge (the raw vector's size() is slots * msg_size).
+  std::vector<uint8_t> moc_cached;
+  std::vector<uint8_t> moc_acc;
+  std::vector<uint8_t> moc_has;
+  uint64_t moc_slots = 0;
+
+  // Per-destination-node send staging (push production) with the sender-side
+  // combining index (pushM+com, Appendix E).
+  SendStaging staging;
+
+  // Messages collected for consumption this superstep.
+  PendingSet pending;
+
+  // Incoming kPushMessages payloads staged by the transport handler
+  // (indexed by sender), applied to the inbox at the post-Phase-B drain in
+  // sender order. Staging is what makes parallel Phase B deterministic:
+  // the drain order equals the arrival order of the old sequential
+  // execution (all of node 0's batches, then node 1's, ...), so the
+  // memory/spill split and every combine order are thread-count invariant.
+  std::vector<std::vector<std::vector<uint8_t>>> push_staged;
+
+  // Pull-Respond accounting staged per requester. The handler runs in the
+  // requester's thread while this node may be busy with its own Phase A,
+  // so it must not touch the shared per-superstep counters directly; the
+  // staged values are merged in requester order after the Phase A barrier,
+  // which reproduces the sequential accumulation order exactly (floating-
+  // point sums included).
+  struct PullServe {
+    IoBreakdown io;
+    double cpu_seconds = 0;
+    uint64_t msgs_produced = 0;
+    uint64_t msgs_combined = 0;
+    uint64_t msgs_wire = 0;
+    uint64_t flushes = 0;
+    uint64_t bs_highwater = 0;
+  };
+  std::vector<PullServe> pull_serve;
+
+  // Per-superstep counters.
+  double aggregate_partial = 0;
+  uint64_t updated_vertices = 0;
+  uint64_t msgs_produced = 0;
+  uint64_t msgs_wire = 0;
+  uint64_t msgs_combined = 0;
+  uint64_t flushes = 0;
+  double cpu_seconds = 0;
+  uint64_t mem_highwater = 0;
+  // Streaming spill-merge observability (push-consume drain).
+  uint64_t spill_buffer_peak = 0;    ///< run-buffer bytes held by the merge
+  uint64_t spill_resident_peak = 0;  ///< peak resident spill entries
+  uint64_t spill_combined = 0;       ///< combiner reductions (spill + merge)
+  // I/O classification counters (bytes).
+  IoBreakdown io;
+
+  DiskMeter disk_snapshot;
+  NetMeter net_snapshot;
+
+  uint32_t LocalIdx(VertexId v) const { return v - range.begin; }
+};
+
+/// Folds the per-requester Pull-Respond counters into the node's counters
+/// in requester order — the order the sequential engine accumulated them —
+/// so float sums (cpu_seconds) are bit-identical at any thread count.
+void MergePullServeCounters(NodeState& node, uint32_t num_nodes);
+
+}  // namespace hybridgraph

@@ -1,0 +1,101 @@
+// Shared base for the block-centric MessagePaths (push / pushM / b-pull):
+// one topology build via the driver, the push-batch apply/collect policies
+// fixed at Build() time, and the accounting/promotion plumbing that is
+// identical across the three modes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/message_flow.h"
+#include "core/message_path.h"
+#include "core/superstep_accounting.h"
+#include "core/superstep_driver.h"
+
+namespace hybridgraph {
+
+template <typename P>
+class BlockPathBase : public MessagePath<P> {
+ public:
+  explicit BlockPathBase(SuperstepDriver<P>* driver) : driver_(driver) {}
+
+  void BeginAccounting() override {
+    BeginBlockAccounting(driver_->nodes(), driver_->transport());
+  }
+
+  Status AfterConsume(uint32_t i) override {
+    MergePullServeCounters(driver_->nodes()[i], driver_->config().num_nodes);
+    return Status::OK();
+  }
+
+  Status UpdateProduce(uint32_t i) override {
+    return driver_->UpdateVblocks(driver_->nodes()[i], *this);
+  }
+
+  Status AfterProduce(uint32_t i) override {
+    // Unconditional for every block producer: under b-pull production the
+    // staging is empty and this is a no-op, but the hybrid switch supersteps
+    // rely on the drain always running.
+    return DrainStagedPushBatches(driver_->nodes()[i],
+                                  driver_->config().num_nodes, apply_policy_);
+  }
+
+  SuperstepMetrics EndAccounting(EngineMode produce_mode,
+                                 bool switched) override {
+    std::vector<NodeState>& nodes = driver_->nodes();
+    std::vector<uint64_t> extra(nodes.size(), 0);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      extra[i] = ExtraMemoryBytes(nodes[i]);
+    }
+    BlockAccountingInputs in;
+    in.superstep = driver_->superstep();
+    in.produce_mode = produce_mode;
+    in.switched = switched;
+    in.config = &driver_->config();
+    in.partition = &driver_->partition();
+    in.transport = &driver_->transport();
+    in.fault_snapshot = driver_->fault_snapshot();
+    in.extra_memory_bytes = &extra;
+    return AccumulateBlockMetrics(nodes, in);
+  }
+
+  void Promote(uint64_t* responding_total,
+               uint64_t* inflight_messages) override {
+    PromoteBlockState(driver_->nodes(), responding_total, inflight_messages);
+  }
+
+ protected:
+  /// Path-specific modeled-memory buffer bytes on top of mem_highwater
+  /// (push family: pending inbox + moc accumulator slots; b-pull: nothing).
+  virtual uint64_t ExtraMemoryBytes(const NodeState& node) const {
+    (void)node;
+    return 0;
+  }
+
+  /// Fixes the receive-side policies; call from Build() after the topology
+  /// exists (the driver has folded the CPU scale by then).
+  void InitPolicies() {
+    const JobConfig& config = driver_->config();
+    apply_policy_.msg_size = P::kMessageSize;
+    apply_policy_.buffer_cap = config.msg_buffer_per_node;
+    apply_policy_.unlimited = config.msg_buffer_per_node == UINT64_MAX ||
+                              config.memory_resident;
+    apply_policy_.online_compute = config.mode == EngineMode::kPushM;
+    apply_policy_.combinable = P::kCombinable;
+    apply_policy_.combiner =
+        P::kCombinable ? &ProgramOps<P>::CombineRaw : nullptr;
+
+    collect_policy_.msg_size = P::kMessageSize;
+    collect_policy_.msg_record_size = 4 + P::kMessageSize;
+    collect_policy_.online_compute = config.mode == EngineMode::kPushM;
+    collect_policy_.combinable = P::kCombinable;
+    collect_policy_.spill_merge_buffer_bytes = config.spill_merge_buffer_bytes;
+    collect_policy_.per_spilled_message_s = config.cpu.per_spilled_message_s;
+  }
+
+  SuperstepDriver<P>* driver_;
+  PushApplyPolicy apply_policy_;
+  PushCollectPolicy collect_policy_;
+};
+
+}  // namespace hybridgraph

@@ -54,6 +54,12 @@ struct SuperstepMetrics {
   double blocking_seconds = 0;      ///< message-exchange blocking (Fig 17)
   double superstep_seconds = 0;     ///< max over nodes of (cpu+io+blocking)
 
+  /// Host wall time per pipeline phase (reference only, like wall_seconds —
+  /// these are measured, not modeled, so they vary run to run).
+  double phase_consume_wall_s = 0;  ///< Phase A (consume + post-barrier drain)
+  double phase_update_wall_s = 0;   ///< Phase B update/produce sweep
+  double phase_drain_wall_s = 0;    ///< post-produce drain (staged batches)
+
   uint64_t memory_highwater_bytes = 0;
 
   /// Streaming spill-merge observability (push/hybrid only; zero elsewhere).

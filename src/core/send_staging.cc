@@ -1,0 +1,38 @@
+#include "core/send_staging.h"
+
+#include "net/message_codec.h"
+
+namespace hybridgraph {
+
+void SendStaging::Init(uint32_t num_dst_nodes, size_t msg_size,
+                       CombineRawFn combiner) {
+  msg_size_ = msg_size;
+  combiner_ = combiner;
+  records_.resize(num_dst_nodes);
+  index_.resize(num_dst_nodes);
+}
+
+void SendStaging::Append(uint32_t dst, VertexId dst_vertex,
+                         const uint8_t* payload) {
+  records_[dst].emplace_back(
+      dst_vertex, std::vector<uint8_t>(payload, payload + msg_size_));
+}
+
+bool SendStaging::TryCombine(uint32_t dst, VertexId dst_vertex,
+                             const uint8_t* payload) {
+  auto [it, inserted] = index_[dst].try_emplace(dst_vertex, records_[dst].size());
+  if (inserted) return false;
+  combiner_(records_[dst][it->second].second.data(), payload);
+  return true;
+}
+
+void SendStaging::EncodeBatch(uint32_t dst, Buffer* out) const {
+  FlatBatchCodec::Encode(records_[dst], msg_size_, out);
+}
+
+void SendStaging::Clear(uint32_t dst) {
+  records_[dst].clear();
+  index_[dst].clear();
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,512 @@
+// The mode-agnostic superstep driver: owns the BSP loop, the thread-pool
+// phase barriers, the aggregator exchange, hybrid switching (Eq. 11) and
+// checkpointing, and delegates everything mode-specific to the installed
+// MessagePath strategies.
+//
+// Execution model per superstep t (uniform across modes):
+//   Phase A (consume)  — every node collects the messages addressed to its
+//     vertices, via the path that PRODUCED them at t-1 (consumption mode at
+//     t = production mode at t-1, which is what makes hybrid switching a
+//     pure mode-registry lookup).
+//   Phase B (update + produce) — every node updates its vertices and lets
+//     the current production path ship/stage whatever its mode ships.
+//
+// Phase A of all nodes runs before any Phase B, which gives the BSP
+// semantics (pull always observes superstep t-1 values) without vertex
+// value versioning. Each phase is wrapped in trace spans (cluster-wide and
+// per node) that export to chrome://tracing when config.trace_path is set.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/aggregators.h"
+#include "core/engine_checkpoint.h"
+#include "core/engine_setup.h"
+#include "core/hybrid_switch.h"
+#include "core/job_config.h"
+#include "core/message_path.h"
+#include "core/node_state.h"
+#include "core/program.h"
+#include "core/run_metrics.h"
+#include "core/superstep_accounting.h"
+#include "core/trace.h"
+#include "graph/edge_list.h"
+#include "graph/partition.h"
+#include "net/transport.h"
+#include "util/buffer.h"
+#include "util/codec.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hybridgraph {
+
+template <typename P>
+class SuperstepDriver {
+ public:
+  using Value = typename P::Value;
+  using Message = typename P::Message;
+
+  static constexpr size_t kMsgSize = P::kMessageSize;
+  /// Wire/spill record: destination id + message payload.
+  static constexpr size_t kMsgRecordSize = 4 + kMsgSize;
+  /// Vertex value record on disk (id + out-degree + payload).
+  static constexpr size_t kValueRecordSize = 8 + P::kValueSize;
+
+  /// `gas_engine` selects the vpull (vertex-cut GAS) front-end: the driver
+  /// then skips the block-engine initial-mode decision and hybrid metrics.
+  SuperstepDriver(JobConfig config, P program, bool gas_engine)
+      : config_(std::move(config)),
+        program_(std::move(program)),
+        gas_engine_(gas_engine) {}
+
+  /// Registers `path` under its mode. `active` paths are Build()t at Load
+  /// time and may produce; inactive ones only occupy their registry slot
+  /// (never reached because the mode never resolves to them).
+  void InstallPath(MessagePath<P>* path, bool active) {
+    registry_[static_cast<size_t>(path->mode())] = path;
+    if (active) build_order_.push_back(path);
+  }
+
+  Status Load(const EdgeListGraph& graph) {
+    HG_RETURN_IF_ERROR(graph.Validate());
+    JobConfig::JobFacts job_facts;
+    job_facts.num_vertices = graph.num_vertices;
+    job_facts.combinable_messages = P::kCombinable;
+    job_facts.vpull_engine = gas_engine_;
+    HG_RETURN_IF_ERROR(config_.Validate(job_facts));
+    if (!config_.failpoints.empty()) {
+      HG_RETURN_IF_ERROR(
+          FailPointRegistry::Instance().ArmFromString(config_.failpoints));
+    }
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    total_edges_ = graph.num_edges();
+    FoldCpuScale(&config_);
+    ctx_.num_vertices = graph.num_vertices;
+    ctx_.superstep = 0;
+    if (!config_.trace_path.empty()) trace_.Enable();
+
+    for (MessagePath<P>* path : build_order_) {
+      HG_RETURN_IF_ERROR(path->Build(graph));
+    }
+
+    if (gas_engine_) {
+      mode_ = EngineMode::kVPull;
+    } else {
+      // Initial mode (Algorithm 3 line 2, Theorem 2).
+      InitialModeInputs in;
+      in.b_lower_bound = stats_.load.b_lower_bound;
+      in.initial_messages = initial_messages_;
+      in.initial_active_frac = initial_active_frac_;
+      in.total_fragments = total_fragments_;
+      HG_ASSIGN_OR_RETURN(mode_, DecideInitialMode(config_, nodes_, facts_, in));
+    }
+    prev_produce_ = mode_;
+    loaded_ = true;
+    return Status::OK();
+  }
+
+  Status RunSuperstep() {
+    if (!loaded_) return Status::FailedPrecondition("Load() first");
+    ctx_.superstep = superstep_;
+    MessagePath<P>* cons = registry_[static_cast<size_t>(prev_produce_)];
+    MessagePath<P>* prod = registry_[static_cast<size_t>(mode_)];
+    prod->BeginAccounting();
+    fault_snapshot_ = transport_->fault_counters();
+
+    const EngineMode produce_mode = mode_;
+    const bool switched = superstep_ > 0 && produce_mode != prev_produce_;
+
+    // Phase A on all nodes, then Phase B on all nodes: BSP-consistent pulls.
+    // Each phase fans out across the pool (one task per node) with a barrier
+    // in between; the staged cross-node effects (pull-serve accounting,
+    // pushed batches) are drained node-locally right after each barrier in
+    // fixed sender/requester order so every counter and float sum matches
+    // the single-thread run.
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      TraceSpan phase(&trace_, "consume", superstep_, -1, prev_produce_);
+      HG_RETURN_IF_ERROR(
+          pool_->ParallelFor(config_.num_nodes, [&](uint32_t i) {
+            TraceSpan span(&trace_, "consume", superstep_,
+                           static_cast<int>(i), prev_produce_);
+            return cons->Consume(i);
+          }));
+      HG_RETURN_IF_ERROR(
+          pool_->ParallelFor(config_.num_nodes,
+                             [&](uint32_t i) { return cons->AfterConsume(i); }));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      TraceSpan phase(&trace_, "update", superstep_, -1, produce_mode);
+      HG_RETURN_IF_ERROR(
+          pool_->ParallelFor(config_.num_nodes, [&](uint32_t i) {
+            TraceSpan span(&trace_, "update", superstep_, static_cast<int>(i),
+                           produce_mode);
+            return prod->UpdateProduce(i);
+          }));
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    {
+      TraceSpan phase(&trace_, "drain", superstep_, -1, produce_mode);
+      HG_RETURN_IF_ERROR(
+          pool_->ParallelFor(config_.num_nodes, [&](uint32_t i) {
+            TraceSpan span(&trace_, "drain", superstep_, static_cast<int>(i),
+                           produce_mode);
+            return prod->AfterProduce(i);
+          }));
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+
+    // Aggregator barrier: partial sums travel to the master and the global
+    // value is broadcast back (metered control traffic), becoming visible to
+    // the next superstep's Update calls.
+    double aggregate = 0;
+    if constexpr (HasAggregator<P>) {
+      if (prod->supports_aggregator()) {
+        Buffer payload;
+        Encoder enc(&payload);
+        for (auto& node : nodes_) {
+          aggregate += node.aggregate_partial;
+          if (node.id != 0) {
+            payload.Clear();
+            enc.PutDouble(node.aggregate_partial);
+            HG_RETURN_IF_ERROR(transport_->Post(
+                node.id, 0, RpcMethod::kControl, payload.AsSlice()));
+          }
+        }
+        for (uint32_t y = 1; y < config_.num_nodes; ++y) {
+          payload.Clear();
+          enc.PutDouble(aggregate);
+          HG_RETURN_IF_ERROR(
+              transport_->Post(0, y, RpcMethod::kControl, payload.AsSlice()));
+        }
+        pull_gen_aggregate_ = ctx_.prev_aggregate;
+        ctx_.prev_aggregate = aggregate;
+      }
+    }
+
+    // Metrics and the switching decision read next-superstep flags, so they
+    // run before the barrier swap.
+    SuperstepMetrics m = prod->EndAccounting(produce_mode, switched);
+    if (prod->hybrid_metrics()) {
+      EvaluateSwitch(&m, config_, partition_, nodes_, facts_, superstep_,
+                     &hybrid_, &mode_);
+    }
+    m.aggregate = aggregate;
+    m.phase_consume_wall_s = std::chrono::duration<double>(t1 - t0).count();
+    m.phase_update_wall_s = std::chrono::duration<double>(t2 - t1).count();
+    m.phase_drain_wall_s = std::chrono::duration<double>(t3 - t2).count();
+    stats_.supersteps.push_back(m);
+    stats_.modeled_seconds += m.superstep_seconds;
+
+    // Barrier: promote next-superstep state.
+    uint64_t responding_total = 0;
+    uint64_t inflight = 0;
+    prod->Promote(&responding_total, &inflight);
+
+    prev_produce_ = produce_mode;
+    ++superstep_;
+    stats_.supersteps_run = superstep_;
+
+    if (responding_total == 0 && inflight == 0 && superstep_ > 0) {
+      converged_ = true;
+    }
+    if constexpr (HasAggregateHalt<P>) {
+      if (prod->supports_aggregator() && superstep_ > 1 &&
+          program_.ShouldHalt(aggregate)) {
+        converged_ = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Run() {
+    const auto start = std::chrono::steady_clock::now();
+    while (superstep_ < config_.max_supersteps && !converged_) {
+      HG_RETURN_IF_ERROR(RunSuperstep());
+    }
+    stats_.converged = converged_;
+    stats_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (trace_.enabled()) {
+      HG_RETURN_IF_ERROR(trace_.WriteJson(config_.trace_path));
+    }
+    return Status::OK();
+  }
+
+  // --------------------------------------------------- block-engine services
+
+  /// Builds the shared block-centric topology (partition, stores, flags,
+  /// inboxes, RPC wiring) the first time a block path asks for it; later
+  /// calls are no-ops so push and b-pull share one build under hybrid.
+  Status EnsureBlockTopology(const EdgeListGraph& graph) {
+    if (topology_built_) return Status::OK();
+    topology_built_ = true;
+
+    bool need_adj = false;
+    bool need_ve = false;
+    for (MessagePath<P>* path : build_order_) {
+      need_adj = need_adj || path->needs_adjacency();
+      need_ve = need_ve || path->needs_veblocks();
+    }
+
+    BlockTopologyHooks hooks;
+    hooks.init_value = [this](VertexId v, uint8_t* out) {
+      const Value val = program_.InitValue(v, ctx_);
+      PodCodec<Value>::Encode(val, out);
+    };
+    hooks.init_active = [this](VertexId v) { return program_.InitActive(v); };
+    if constexpr (P::kCombinable) {
+      hooks.pending_combiner = &ProgramOps<P>::CombineRaw;
+      hooks.staging_combiner = &ProgramOps<P>::CombineRaw;
+      if (config_.spill_combining) {
+        hooks.spill_combiner = &ProgramOps<P>::CombineRaw;
+      }
+    }
+
+    BlockTopologyCensus census;
+    HG_RETURN_IF_ERROR(BuildBlockTopology(
+        graph, config_, P::kCombinable, P::kValueSize, kMsgSize, need_adj,
+        need_ve, hooks, &partition_, &transport_, &nodes_, total_edges_,
+        &stats_.load, &census));
+    total_in_degree_ = census.total_in_degree;
+    total_fragments_ = census.total_fragments;
+    initial_messages_ = census.initial_messages;
+    initial_active_frac_ = static_cast<double>(census.initial_active_count) /
+                           static_cast<double>(graph.num_vertices);
+
+    // RPC wiring. Handlers run in the SENDER's thread (or a transport server
+    // thread) under the destination's dispatch lock, possibly while this
+    // node's own phase task is running — so they only stage raw bytes or
+    // per-requester counters; the paths apply them at the next barrier.
+    for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+      NodeState* node = &nodes_[i];
+      transport_->RegisterHandler(
+          i, RpcMethod::kPushMessages, [node](NodeId src, Slice payload, Buffer*) {
+            node->push_staged[src].emplace_back(
+                payload.data(), payload.data() + payload.size());
+            return Status::OK();
+          });
+      transport_->RegisterHandler(
+          i, RpcMethod::kPullRequest,
+          [this, node](NodeId src, Slice payload, Buffer* response) {
+            MessagePath<P>* bp =
+                registry_[static_cast<size_t>(EngineMode::kBPull)];
+            if (bp == nullptr) return Status::Internal("no pull path installed");
+            return bp->ServePull(*node, src, payload, response);
+          });
+      transport_->RegisterHandler(i, RpcMethod::kControl,
+                                  [](NodeId, Slice, Buffer*) {
+                                    return Status::OK();
+                                  });
+    }
+    return Status::OK();
+  }
+
+  /// The shared Phase B vertex-update sweep over one node's Vblocks
+  /// (update() + setResFlag); production is delegated to the path's
+  /// ProduceVblock/FinishProduce hooks so this loop stays mode-free.
+  Status UpdateVblocks(NodeState& node, MessagePath<P>& prod) {
+    std::fill(node.responding_next.begin(), node.responding_next.end(), 0);
+    std::fill(node.vblock_res_next.begin(), node.vblock_res_next.end(), 0);
+
+    const uint32_t first_vb = partition_.FirstVblockOf(node.id);
+    const uint32_t last_vb = partition_.LastVblockOf(node.id);
+    const std::vector<Message> no_msgs;
+    std::vector<Message> msg_scratch;
+    std::vector<uint8_t> values;
+    std::vector<uint8_t> respond_in_vb;
+
+    for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
+      const VertexRange r = partition_.VblockRange(vb);
+      // Does any vertex in this block need an update?
+      bool any_active = false;
+      for (VertexId v = r.begin; v < r.end && !any_active; ++v) {
+        const uint32_t li = node.LocalIdx(v);
+        any_active = P::kAlwaysActive
+                         ? (superstep_ > 0 || node.active[li])
+                         : (node.pending.Has(li) || node.active[li]);
+      }
+      respond_in_vb.assign(r.size(), 0);
+      if (any_active) {
+        // IO(V^t): scan + write back the Vblock.
+        HG_RETURN_IF_ERROR(
+            node.vstore->ReadBlock(vb, &values, IoClass::kSeqRead));
+        node.io.vt_bytes += node.vstore->BlockBytes(vb);
+        bool block_dirty = false;
+
+        for (VertexId v = r.begin; v < r.end; ++v) {
+          const uint32_t li = node.LocalIdx(v);
+          const bool has_msgs = node.pending.Has(li);
+          const bool run_update =
+              P::kAlwaysActive ? (superstep_ > 0 || node.active[li])
+                               : (has_msgs || node.active[li]);
+          if (!run_update) continue;
+
+          Value value = PodCodec<Value>::Decode(
+              values.data() + static_cast<size_t>(v - r.begin) * P::kValueSize);
+          [[maybe_unused]] const Value old_value = value;
+          if (has_msgs) {
+            msg_scratch.clear();
+            const size_t count = node.pending.CountAt(li);
+            const uint8_t* data = node.pending.DataAt(li);
+            for (size_t k = 0; k < count; ++k) {
+              msg_scratch.push_back(
+                  PodCodec<Message>::Decode(data + k * kMsgSize));
+            }
+          }
+          const std::vector<Message>& msgs = has_msgs ? msg_scratch : no_msgs;
+          const UpdateResult res = program_.Update(v, &value, msgs, ctx_);
+          ++node.updated_vertices;
+          if constexpr (HasAggregator<P>) {
+            node.aggregate_partial +=
+                program_.AggregateContribution(v, old_value, value, ctx_);
+          }
+          node.cpu_seconds +=
+              config_.cpu.per_vertex_update_s +
+              config_.cpu.per_message_s * static_cast<double>(msgs.size());
+          if (res.changed) {
+            PodCodec<Value>::Encode(
+                value, values.data() +
+                           static_cast<size_t>(v - r.begin) * P::kValueSize);
+            block_dirty = true;
+          }
+          if (res.respond) {
+            node.responding_next[li] = 1;
+            node.vblock_res_next[vb - first_vb] = 1;
+            respond_in_vb[v - r.begin] = 1;
+          }
+          // Consume messages.
+          if (has_msgs) node.pending.ConsumeAt(li);
+          node.active[li] = 0;
+        }
+        if (block_dirty) {
+          HG_RETURN_IF_ERROR(
+              node.vstore->WriteBlock(vb, values, IoClass::kSeqWrite));
+          node.io.vt_bytes += node.vstore->BlockBytes(vb);
+        }
+      }
+      HG_RETURN_IF_ERROR(prod.ProduceVblock(node, vb, respond_in_vb, values));
+    }
+    return prod.FinishProduce(node);
+  }
+
+  /// Collects all vertex values from the block stores (global, indexed by
+  /// vertex id). The vpull front-end gathers from its own path instead.
+  Result<std::vector<Value>> GatherValues() {
+    std::vector<Value> out(partition_.num_vertices());
+    std::vector<uint8_t> values;
+    for (auto& node : nodes_) {
+      for (uint32_t vb = partition_.FirstVblockOf(node.id);
+           vb < partition_.LastVblockOf(node.id); ++vb) {
+        HG_RETURN_IF_ERROR(
+            node.vstore->ReadBlock(vb, &values, IoClass::kSeqRead));
+        const VertexRange r = partition_.VblockRange(vb);
+        for (uint32_t i = 0; i < r.size(); ++i) {
+          out[r.begin + i] = PodCodec<Value>::Decode(
+              values.data() + static_cast<size_t>(i) * P::kValueSize);
+        }
+      }
+    }
+    return out;
+  }
+
+  Status WriteCheckpoint(Buffer* out) {
+    if (!loaded_) return Status::FailedPrecondition("Load() first");
+    return WriteEngineCheckpoint(nodes_, partition_, MakeCheckpointState(),
+                                 kMsgSize, out);
+  }
+
+  Status RestoreCheckpoint(Slice data) {
+    if (!loaded_) return Status::FailedPrecondition("Load() first");
+    return RestoreEngineCheckpoint(nodes_, partition_, config_,
+                                   MakeCheckpointState(), kMsgSize, data,
+                                   &stats_.supersteps_run);
+  }
+
+  // ---------------------------------------------------------------- access
+
+  const JobStats& stats() const { return stats_; }
+  JobStats* mutable_stats() { return &stats_; }
+  const RangePartition& partition() const { return partition_; }
+  const JobConfig& config() const { return config_; }
+  P& program() { return program_; }
+  bool converged() const { return converged_; }
+  int superstep() const { return superstep_; }
+  EngineMode current_mode() const { return mode_; }
+  uint64_t total_fragments() const { return total_fragments_; }
+  uint64_t b_lower_bound() const { return stats_.load.b_lower_bound; }
+
+  Transport& transport() { return *transport_; }
+  void set_transport(std::unique_ptr<Transport> t) { transport_ = std::move(t); }
+  std::vector<NodeState>& nodes() { return nodes_; }
+  SuperstepContext& ctx() { return ctx_; }
+  double pull_gen_aggregate() const { return pull_gen_aggregate_; }
+  const TransportFaultCounters& fault_snapshot() const {
+    return fault_snapshot_;
+  }
+  TraceCollector* trace() { return &trace_; }
+
+ private:
+  CheckpointState MakeCheckpointState() {
+    CheckpointState st;
+    st.superstep = &superstep_;
+    st.mode = &mode_;
+    st.prev_produce = &prev_produce_;
+    st.converged = &converged_;
+    st.hybrid = &hybrid_;
+    st.prev_aggregate = &ctx_.prev_aggregate;
+    return st;
+  }
+
+  JobConfig config_;
+  P program_;
+  const bool gas_engine_;
+  RangePartition partition_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<NodeState> nodes_;
+  SuperstepContext ctx_;
+  TraceCollector trace_;
+
+  int superstep_ = 0;
+  bool converged_ = false;
+  bool loaded_ = false;
+  bool topology_built_ = false;
+
+  // Hybrid state: production mode for the upcoming superstep and the one
+  // used by the previous superstep (= consumption mode of the upcoming one).
+  EngineMode mode_ = EngineMode::kPush;
+  EngineMode prev_produce_ = EngineMode::kPush;
+  HybridState hybrid_;
+  const HybridFacts facts_{P::kCombinable, kMsgSize, kMsgRecordSize,
+                           kValueRecordSize};
+  /// Aggregate visible to the previous superstep (pullRes() at superstep t
+  /// logically produces superstep t-1's messages and must see t-1's view).
+  double pull_gen_aggregate_ = 0;
+
+  /// fault_counters() at the start of the current superstep; the superstep's
+  /// SuperstepMetrics records the delta.
+  TransportFaultCounters fault_snapshot_;
+
+  uint64_t total_edges_ = 0;
+  uint64_t total_fragments_ = 0;
+  uint64_t total_in_degree_ = 0;
+  uint64_t initial_messages_ = 0;  ///< sum out-degrees of InitActive vertices
+  double initial_active_frac_ = 0;  ///< |InitActive| / |V|
+
+  JobStats stats_;
+
+  /// Mode -> strategy. Indexed by EngineMode; kHybrid's slot stays null
+  /// (hybrid is a driver policy, not a path).
+  std::array<MessagePath<P>*, 5> registry_{};
+  std::vector<MessagePath<P>*> build_order_;
+};
+
+}  // namespace hybridgraph

@@ -1,0 +1,72 @@
+#include "core/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+namespace {
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void TraceCollector::Enable() {
+  enabled_ = true;
+  origin_ns_ = MonotonicNs();
+}
+
+uint64_t TraceCollector::NowUs() const {
+  if (!enabled_) return 0;
+  return static_cast<uint64_t>((MonotonicNs() - origin_ns_) / 1000);
+}
+
+void TraceCollector::AddSpan(const char* name, int superstep, int node,
+                             uint64_t start_us, uint64_t end_us,
+                             EngineMode mode) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, superstep, node, start_us,
+                          end_us >= start_us ? end_us - start_us : 0, mode});
+}
+
+size_t TraceCollector::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Status TraceCollector::WriteJson(const std::string& path) const {
+  std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool first = true;
+    for (const auto& e : events_) {
+      if (!first) json += ',';
+      first = false;
+      // pid 0 = the driver (cluster-wide phase spans); pid i+1 = node i.
+      json += StringFormat(
+          "{\"name\":\"%s\",\"cat\":\"superstep\",\"ph\":\"X\","
+          "\"ts\":%llu,\"dur\":%llu,\"pid\":%d,\"tid\":0,"
+          "\"args\":{\"superstep\":%d,\"mode\":\"%s\"}}",
+          e.name, static_cast<unsigned long long>(e.start_us),
+          static_cast<unsigned long long>(e.dur_us),
+          e.node < 0 ? 0 : e.node + 1, e.superstep, EngineModeName(e.mode));
+    }
+  }
+  json += "]}";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IoError("cannot open trace file: " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hybridgraph

@@ -1,0 +1,83 @@
+// Per-phase / per-node trace spans for the superstep pipeline, exported as
+// chrome://tracing "Trace Event Format" JSON (complete events, ph:"X").
+//
+// The collector is observability only: it records wall-clock spans plus the
+// modeled superstep/mode tags, and never feeds back into the deterministic
+// modeled-time accounting. When disabled every call is a cheap no-op, so the
+// driver can thread spans through unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/job_config.h"
+#include "util/status.h"
+
+namespace hybridgraph {
+
+class TraceCollector {
+ public:
+  /// Collection starts disabled; Enable() turns it on (driver calls this when
+  /// config.trace_path is non-empty).
+  void Enable();
+  bool enabled() const { return enabled_; }
+
+  /// Microseconds since the collector's origin (first call). Returns 0 when
+  /// disabled so callers can grab timestamps unconditionally.
+  uint64_t NowUs() const;
+
+  /// Records one complete span. `node` is the node id, or -1 for a
+  /// cluster-wide phase span (rendered as the "driver" process).
+  void AddSpan(const char* name, int superstep, int node, uint64_t start_us,
+               uint64_t end_us, EngineMode mode);
+
+  /// Writes {"traceEvents": [...]} to `path`, loadable by chrome://tracing
+  /// and Perfetto.
+  Status WriteJson(const std::string& path) const;
+
+  size_t num_events() const;
+
+ private:
+  struct Event {
+    const char* name;
+    int superstep;
+    int node;
+    uint64_t start_us;
+    uint64_t dur_us;
+    EngineMode mode;
+  };
+
+  bool enabled_ = false;
+  int64_t origin_ns_ = 0;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: records from construction to destruction when tracing is on.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* trace, const char* name, int superstep, int node,
+            EngineMode mode)
+      : trace_(trace), name_(name), superstep_(superstep), node_(node),
+        mode_(mode), start_us_(trace && trace->enabled() ? trace->NowUs() : 0) {}
+  ~TraceSpan() {
+    if (trace_ && trace_->enabled()) {
+      trace_->AddSpan(name_, superstep_, node_, start_us_, trace_->NowUs(),
+                      mode_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* trace_;
+  const char* name_;
+  int superstep_;
+  int node_;
+  EngineMode mode_;
+  uint64_t start_us_;
+};
+
+}  // namespace hybridgraph

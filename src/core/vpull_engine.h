@@ -3,38 +3,24 @@
 // exactly like the paper's Sec 6 modification — with disk-resident edges and
 // an LRU-managed disk-resident vertex table.
 //
-// Partitioning: edges are hash-partitioned across nodes (vertex-cut); every
-// vertex has a hash-assigned master, and a replica on each node that holds
-// any of its edges. Per superstep:
-//   Gather  — each node sequentially scans its local edge blob; for every
-//             edge (u,v) with a responding u it reads u's replica value
-//             (LRU cache over the on-disk vertex table: the random-read
-//             storm that makes this baseline I/O-inefficient), computes the
-//             edge message and folds it into a local partial aggregate for v.
-//   Sum     — partial aggregates ship to v's master (network).
-//   Apply   — the master runs update() on the combined gather result.
-//   Scatter — the new value (and responding flag) broadcasts to all replica
-//             nodes (the vertex-cut mirror-synchronization traffic), which
-//             write it back through the LRU cache (dirty evictions become
-//             random writes).
+// This header is a facade: the GAS behavior lives in VPullPath
+// (core/paths/vpull_path.h), driven by the same SuperstepDriver that runs
+// the block-centric modes — gather maps onto the consume phase, sum onto
+// the post-consume drain, apply onto update/produce, scatter onto the
+// post-produce drain.
 #pragma once
 
-#include <chrono>
-#include <unordered_map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/job_config.h"
-#include "core/lru_cache.h"
+#include "core/paths/vpull_path.h"
 #include "core/program.h"
 #include "core/run_metrics.h"
+#include "core/superstep_driver.h"
 #include "graph/edge_list.h"
-#include "io/storage.h"
-#include "net/message_codec.h"
-#include "net/tcp_transport.h"
-#include "net/transport.h"
-#include "util/failpoint.h"
-#include "util/logging.h"
-#include "util/string_util.h"
-#include "util/thread_pool.h"
+#include "util/status.h"
 
 namespace hybridgraph {
 
@@ -45,641 +31,23 @@ class VPullEngine {
   using Message = typename P::Message;
 
   VPullEngine(JobConfig config, P program)
-      : config_(std::move(config)), program_(std::move(program)) {
+      : driver_(std::move(config), std::move(program), /*gas_engine=*/true) {
     StaticCheckProgram<P>();
+    vpull_ = std::make_unique<VPullPath<P>>(&driver_);
+    driver_.InstallPath(vpull_.get(), /*active=*/true);
   }
 
-  Status Load(const EdgeListGraph& graph);
-  Status Run();
-  Status RunSuperstep();
+  Status Load(const EdgeListGraph& graph) { return driver_.Load(graph); }
+  Status Run() { return driver_.Run(); }
+  Status RunSuperstep() { return driver_.RunSuperstep(); }
 
-  const JobStats& stats() const { return stats_; }
-  bool converged() const { return converged_; }
-  Result<std::vector<Value>> GatherValues();
+  const JobStats& stats() const { return driver_.stats(); }
+  bool converged() const { return driver_.converged(); }
+  Result<std::vector<Value>> GatherValues() { return vpull_->GatherValues(); }
 
  private:
-  static constexpr size_t kMsgSize = P::kMessageSize;
-  static constexpr size_t kValueRecord = P::kValueSize;
-  static constexpr size_t kEdgeRecord = 12;  // src + dst + weight
-
-  struct Replica {
-    Value value;
-    bool responding = false;
-  };
-
-  struct Node {
-    NodeId id = 0;
-    std::unique_ptr<StorageService> storage;
-
-    // Local edge set (on disk as one blob, scanned sequentially).
-    uint64_t num_edges = 0;
-    uint64_t edge_bytes = 0;
-
-    // Replica table: vertex -> dense local index into the on-disk vertex
-    // table; out-degree is global static metadata kept in memory.
-    std::unordered_map<VertexId, uint32_t> replica_idx;
-    std::vector<VertexId> replica_vertex;  // inverse map
-    std::vector<uint8_t> replica_responding;
-    std::unique_ptr<LruCache<uint32_t, Value>> cache;
-
-    // Master role: owned vertices and where their replicas live.
-    std::vector<VertexId> owned;
-    std::unordered_map<VertexId, std::vector<NodeId>> replica_nodes;
-    // Gather results arriving at the master.
-    std::unordered_map<VertexId, std::vector<Message>> pending;
-
-    // Raw payloads stashed by the RPC handlers, indexed by sender. Handlers
-    // run in the sender's thread (under this node's dispatch lock) while this
-    // node's own phase task may be running, so they must not touch pending /
-    // cache / replica_responding; the engine drains the staged payloads in
-    // sender order at the next barrier, which reproduces the sequential
-    // arrival order (sender x finished its whole phase before sender x+1).
-    std::vector<std::vector<std::vector<uint8_t>>> gather_staged;
-    std::vector<std::vector<std::vector<uint8_t>>> apply_staged;
-
-    // Per-superstep counters.
-    uint64_t updated = 0;
-    uint64_t responded = 0;
-    uint64_t msgs_produced = 0;
-    double cpu_seconds = 0;
-    uint64_t mem_highwater = 0;
-    DiskMeter disk_snapshot;
-    NetMeter net_snapshot;
-  };
-
-  std::string EdgeKey(NodeId n) const { return StringFormat("node%u/gas/edges", n); }
-  std::string VtabKey(NodeId n) const { return StringFormat("node%u/gas/vtab", n); }
-
-  NodeId MasterOf(VertexId v) const {
-    return static_cast<NodeId>((v * 2654435761u) % config_.num_nodes);
-  }
-  NodeId EdgeHome(const RawEdge& e) const {
-    const uint64_t h = (static_cast<uint64_t>(e.src) << 32) | e.dst;
-    return static_cast<NodeId>((h * 0x9E3779B97F4A7C15ULL >> 33) %
-                               config_.num_nodes);
-  }
-
-  /// Reads a replica value through the node's LRU cache.
-  Status CachedRead(Node& node, uint32_t idx, Value* out);
-  /// Writes a replica value through the cache (dirty; evict = random write).
-  Status CachedWrite(Node& node, uint32_t idx, const Value& value);
-
-  Status HandleGatherPartial(Node& node, Slice payload);
-  Status HandleApplyBroadcast(Node& node, Slice payload);
-
-  /// Gather phase for one node (runs as a pool task).
-  Status GatherNode(Node& node);
-  /// Apply + Scatter phase for one node (runs as a pool task).
-  Status ApplyScatterNode(Node& node);
-  /// Applies staged handler payloads in sender order (post-barrier).
-  Status DrainGatherStaged(Node& node);
-  Status DrainApplyStaged(Node& node);
-
-  void BeginAccounting();
-  void EndAccounting();
-
-  JobConfig config_;
-  P program_;
-  std::unique_ptr<Transport> transport_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::vector<Node> nodes_;
-  std::vector<uint32_t> out_degrees_;
-  SuperstepContext ctx_;
-
-  int superstep_ = 0;
-  bool converged_ = false;
-  bool loaded_ = false;
-  uint64_t responding_total_ = 0;
-  JobStats stats_;
+  SuperstepDriver<P> driver_;
+  std::unique_ptr<VPullPath<P>> vpull_;
 };
-
-// ---------------------------------------------------------------------------
-
-template <typename P>
-Status VPullEngine<P>::Load(const EdgeListGraph& graph) {
-  HG_RETURN_IF_ERROR(graph.Validate());
-  JobConfig::JobFacts facts;
-  facts.num_vertices = graph.num_vertices;
-  facts.combinable_messages = P::kCombinable;
-  facts.vpull_engine = true;
-  HG_RETURN_IF_ERROR(config_.Validate(facts));
-  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
-  ctx_.num_vertices = graph.num_vertices;
-  config_.cpu.per_vertex_update_s *= config_.cpu.scale;
-  config_.cpu.per_message_s *= config_.cpu.scale;
-  config_.cpu.per_edge_s *= config_.cpu.scale;
-  config_.cpu.per_spilled_message_s *= config_.cpu.scale;
-  config_.cpu.scale = 1.0;
-  out_degrees_ = graph.OutDegrees();
-  const uint32_t T = config_.num_nodes;
-  if (config_.transport == TransportKind::kTcp) {
-    TcpTransport::Options topt;
-    topt.call_timeout_ms = config_.tcp_call_timeout_ms;
-    topt.max_retries = config_.tcp_max_retries;
-    topt.backoff_base_us = config_.tcp_backoff_base_us;
-    topt.backoff_max_us = config_.tcp_backoff_max_us;
-    topt.max_frame_bytes = config_.tcp_max_frame_bytes;
-    topt.seed = config_.seed;
-    transport_ = std::make_unique<TcpTransport>(T, topt);
-  } else {
-    transport_ = std::make_unique<InProcTransport>(T);
-  }
-  if (!config_.failpoints.empty()) {
-    HG_RETURN_IF_ERROR(
-        FailPointRegistry::Instance().ArmFromString(config_.failpoints));
-  }
-  nodes_.resize(T);
-
-  // Assign edges (vertex-cut) and discover replica sets.
-  std::vector<std::vector<RawEdge>> local_edges(T);
-  for (const auto& e : graph.edges) {
-    local_edges[EdgeHome(e)].push_back(e);
-  }
-
-  for (uint32_t i = 0; i < T; ++i) {
-    Node& node = nodes_[i];
-    node.id = i;
-    if (config_.use_file_storage) {
-      HG_ASSIGN_OR_RETURN(node.storage,
-                          FileStorage::Open(config_.storage_dir + "/gas" +
-                                            std::to_string(i)));
-    } else {
-      node.storage = std::make_unique<MemStorage>();
-    }
-    node.storage->EnablePageCache(config_.page_cache_bytes_per_node);
-
-    auto intern = [&](VertexId v) -> uint32_t {
-      auto it = node.replica_idx.find(v);
-      if (it != node.replica_idx.end()) return it->second;
-      const uint32_t idx = static_cast<uint32_t>(node.replica_vertex.size());
-      node.replica_idx.emplace(v, idx);
-      node.replica_vertex.push_back(v);
-      return idx;
-    };
-
-    // Edge blob in shard-hash order: GraphLab's edge shards carry no vertex
-    // id locality, so the gather scan must not hand the LRU a sorted order.
-    std::sort(local_edges[i].begin(), local_edges[i].end(),
-              [](const RawEdge& a, const RawEdge& b) {
-                auto h = [](const RawEdge& e) {
-                  uint64_t x = (static_cast<uint64_t>(e.src) << 32) | e.dst;
-                  x *= 0x9E3779B97F4A7C15ULL;
-                  return x ^ (x >> 29);
-                };
-                return h(a) < h(b);
-              });
-    Buffer buf;
-    Encoder enc(&buf);
-    for (const auto& e : local_edges[i]) {
-      intern(e.src);
-      intern(e.dst);
-      enc.PutFixed32(e.src);
-      enc.PutFixed32(e.dst);
-      enc.PutFloat(e.weight);
-    }
-    HG_RETURN_IF_ERROR(
-        node.storage->Write(EdgeKey(i), buf.AsSlice(), IoClass::kSeqWrite));
-    node.num_edges = local_edges[i].size();
-    node.edge_bytes = buf.size();
-  }
-
-  // Masters own all their hash-assigned vertices (even isolated ones).
-  for (VertexId v = 0; v < graph.num_vertices; ++v) {
-    nodes_[MasterOf(v)].owned.push_back(v);
-  }
-  for (uint32_t i = 0; i < T; ++i) {
-    for (VertexId v : nodes_[i].owned) {
-      auto it = nodes_[i].replica_idx.find(v);
-      if (it == nodes_[i].replica_idx.end()) {
-        const uint32_t idx = static_cast<uint32_t>(nodes_[i].replica_vertex.size());
-        nodes_[i].replica_idx.emplace(v, idx);
-        nodes_[i].replica_vertex.push_back(v);
-      }
-    }
-  }
-  // Replica location lists at the masters.
-  for (uint32_t i = 0; i < T; ++i) {
-    for (VertexId v : nodes_[i].replica_vertex) {
-      nodes_[MasterOf(v)].replica_nodes[v].push_back(i);
-    }
-  }
-
-  // On-disk vertex tables + LRU caches + initial values.
-  for (uint32_t i = 0; i < T; ++i) {
-    Node& node = nodes_[i];
-    Buffer buf;
-    Encoder enc(&buf);
-    std::vector<uint8_t> tmp(kValueRecord);
-    for (VertexId v : node.replica_vertex) {
-      const Value val = program_.InitValue(v, ctx_);
-      PodCodec<Value>::Encode(val, tmp.data());
-      enc.PutRaw(tmp.data(), tmp.size());
-    }
-    HG_RETURN_IF_ERROR(
-        node.storage->Write(VtabKey(i), buf.AsSlice(), IoClass::kSeqWrite));
-    node.gather_staged.resize(T);
-    node.apply_staged.resize(T);
-    node.replica_responding.assign(node.replica_vertex.size(), 0);
-    for (VertexId v : node.replica_vertex) {
-      if (program_.InitActive(v)) {
-        node.replica_responding[node.replica_idx[v]] = 1;
-      }
-    }
-    const size_t cap = static_cast<size_t>(std::min<uint64_t>(
-        config_.vpull_vertex_cache, node.replica_vertex.size()));
-    Node* node_ptr = &node;
-    node.cache = std::make_unique<LruCache<uint32_t, Value>>(
-        std::max<size_t>(1, cap),
-        [this, node_ptr](const uint32_t& idx, const Value& value, bool dirty) {
-          if (!dirty) return;
-          std::vector<uint8_t> tmp2(kValueRecord);
-          PodCodec<Value>::Encode(value, tmp2.data());
-          // Dirty eviction: random write into the vertex table.
-          Status s = node_ptr->storage->WriteRange(
-              VtabKey(node_ptr->id), uint64_t{idx} * kValueRecord,
-              Slice(tmp2.data(), tmp2.size()), IoClass::kRandWrite);
-          HG_CHECK(s.ok()) << s.ToString();
-        });
-
-    transport_->RegisterHandler(
-        i, RpcMethod::kGatherPartial,
-        [node_ptr](NodeId src, Slice payload, Buffer*) {
-          node_ptr->gather_staged[src].emplace_back(
-              payload.data(), payload.data() + payload.size());
-          return Status::OK();
-        });
-    transport_->RegisterHandler(
-        i, RpcMethod::kApplyBroadcast,
-        [node_ptr](NodeId src, Slice payload, Buffer*) {
-          node_ptr->apply_staged[src].emplace_back(
-              payload.data(), payload.data() + payload.size());
-          return Status::OK();
-        });
-  }
-
-  HG_RETURN_IF_ERROR(transport_->Start());
-
-  uint64_t bytes_written = 0;
-  for (auto& node : nodes_) {
-    bytes_written += node.storage->meter()->WriteBytes();
-  }
-  stats_.load.bytes_written = bytes_written;
-  stats_.load.load_seconds =
-      static_cast<double>(bytes_written) /
-      (config_.disk.seq_write_mbps * 1024.0 * 1024.0) / config_.num_nodes;
-
-  responding_total_ = 0;
-  for (auto& node : nodes_) {
-    for (VertexId v : node.owned) {
-      responding_total_ += program_.InitActive(v) ? 1 : 0;
-    }
-  }
-  loaded_ = true;
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::CachedRead(Node& node, uint32_t idx, Value* out) {
-  if (Value* hit = node.cache->Get(idx)) {
-    *out = *hit;
-    return Status::OK();
-  }
-  node.cache->RecordMiss();
-  node.cpu_seconds += config_.vpull_miss_penalty_s;
-  std::vector<uint8_t> raw;
-  HG_RETURN_IF_ERROR(node.storage->ReadRange(VtabKey(node.id),
-                                             uint64_t{idx} * kValueRecord,
-                                             kValueRecord, &raw,
-                                             IoClass::kRandRead));
-  *out = PodCodec<Value>::Decode(raw.data());
-  node.cache->Put(idx, *out, /*dirty=*/false);
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::CachedWrite(Node& node, uint32_t idx, const Value& value) {
-  node.cache->Put(idx, value, /*dirty=*/true);
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::HandleGatherPartial(Node& node, Slice payload) {
-  std::vector<GroupedBatchCodec::Group> groups;
-  HG_RETURN_IF_ERROR(GroupedBatchCodec::Decode(payload, kMsgSize, &groups));
-  for (const auto& g : groups) {
-    auto& slot = node.pending[g.dst];
-    for (const auto& p : g.payloads) {
-      const Message m = PodCodec<Message>::Decode(p.data());
-      if (P::kCombinable && !slot.empty()) {
-        slot[0] = P::Combine(slot[0], m);
-      } else {
-        slot.push_back(m);
-      }
-    }
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::HandleApplyBroadcast(Node& node, Slice payload) {
-  // (vertex, value, responding) triples from masters to replicas.
-  Decoder dec(payload);
-  uint64_t count;
-  HG_RETURN_IF_ERROR(dec.GetVarint64(&count));
-  Slice raw;
-  for (uint64_t k = 0; k < count; ++k) {
-    uint32_t v;
-    uint8_t responding;
-    HG_RETURN_IF_ERROR(dec.GetFixed32(&v));
-    HG_RETURN_IF_ERROR(dec.GetU8(&responding));
-    HG_RETURN_IF_ERROR(dec.GetRaw(kValueRecord, &raw));
-    auto it = node.replica_idx.find(v);
-    if (it == node.replica_idx.end()) {
-      return Status::Internal("broadcast to node without replica");
-    }
-    const Value value = PodCodec<Value>::Decode(raw.data());
-    HG_RETURN_IF_ERROR(CachedWrite(node, it->second, value));
-    node.replica_responding[it->second] = responding;
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::DrainGatherStaged(Node& node) {
-  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
-    for (const auto& payload : node.gather_staged[src]) {
-      HG_RETURN_IF_ERROR(
-          HandleGatherPartial(node, Slice(payload.data(), payload.size())));
-    }
-    node.gather_staged[src].clear();
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::DrainApplyStaged(Node& node) {
-  for (uint32_t src = 0; src < config_.num_nodes; ++src) {
-    for (const auto& payload : node.apply_staged[src]) {
-      HG_RETURN_IF_ERROR(
-          HandleApplyBroadcast(node, Slice(payload.data(), payload.size())));
-    }
-    node.apply_staged[src].clear();
-  }
-  return Status::OK();
-}
-
-template <typename P>
-void VPullEngine<P>::BeginAccounting() {
-  for (auto& node : nodes_) {
-    node.updated = 0;
-    node.responded = 0;
-    node.msgs_produced = 0;
-    node.cpu_seconds = 0;
-    node.mem_highwater = 0;
-    node.disk_snapshot = *node.storage->meter();
-    node.net_snapshot = *transport_->meter(node.id);
-  }
-}
-
-template <typename P>
-void VPullEngine<P>::EndAccounting() {
-  SuperstepMetrics m;
-  m.superstep = superstep_;
-  m.mode = EngineMode::kVPull;
-  double max_node_seconds = 0, max_blocking = 0;
-  for (auto& node : nodes_) {
-    m.messages_produced += node.msgs_produced;
-    m.messages_on_wire += node.msgs_produced;
-    m.active_vertices += node.updated;
-    m.responding_vertices += node.responded;
-
-    const DiskMeter disk = node.storage->meter()->DeltaSince(node.disk_snapshot);
-    m.io.adj_edge_bytes += disk.bytes(IoClass::kSeqRead);
-    m.io.vrr_bytes += disk.bytes(IoClass::kRandRead);
-    m.io.other_bytes += disk.bytes(IoClass::kRandWrite) +
-                        disk.bytes(IoClass::kSeqWrite);
-    const NetMeter net = transport_->meter(node.id)->DeltaSince(node.net_snapshot);
-    m.net_bytes += net.bytes_sent;
-    m.net_frames += net.frames_sent;
-
-    const double io_s =
-        config_.memory_resident ? 0.0 : disk.ModeledSeconds(config_.disk);
-    const double net_s = config_.net.SecondsFor(
-        std::max(net.bytes_sent, net.bytes_received));
-    const double work_s = node.cpu_seconds + io_s;
-    const double blocking_s = std::max(0.0, net_s - work_s) +
-                              config_.net.SecondsFor(std::min<uint64_t>(
-                                  config_.sending_threshold_bytes,
-                                  net.bytes_sent));
-    m.cpu_seconds += node.cpu_seconds;
-    m.io_seconds += io_s;
-    m.net_seconds += net_s;
-    max_blocking = std::max(max_blocking, blocking_s);
-    max_node_seconds = std::max(max_node_seconds, work_s + blocking_s);
-    m.memory_highwater_bytes +=
-        node.cache->size() * kValueRecord + node.mem_highwater;
-  }
-  m.blocking_seconds = max_blocking;
-  m.superstep_seconds = max_node_seconds;
-  stats_.supersteps.push_back(m);
-  stats_.modeled_seconds += m.superstep_seconds;
-}
-
-template <typename P>
-Status VPullEngine<P>::GatherNode(Node& node) {
-  // Gather: scan local edges, read source replicas, build partials.
-  // Per destination master node: grouped partial aggregates.
-  std::vector<std::unordered_map<VertexId, std::vector<Message>>> partials(
-      config_.num_nodes);
-  std::vector<uint8_t> raw;
-  HG_RETURN_IF_ERROR(
-      node.storage->Read(EdgeKey(node.id), &raw, IoClass::kSeqRead));
-  Decoder dec{Slice(raw)};
-  Value src_value;
-  while (!dec.AtEnd()) {
-    RawEdge e;
-    HG_RETURN_IF_ERROR(dec.GetFixed32(&e.src));
-    HG_RETURN_IF_ERROR(dec.GetFixed32(&e.dst));
-    HG_RETURN_IF_ERROR(dec.GetFloat(&e.weight));
-    const uint32_t src_idx = node.replica_idx[e.src];
-    if (!node.replica_responding[src_idx]) continue;
-    HG_RETURN_IF_ERROR(CachedRead(node, src_idx, &src_value));
-    const Message msg = program_.GenMessage(
-        e.src, src_value, out_degrees_[e.src], {e.dst, e.weight}, ctx_);
-    ++node.msgs_produced;
-    node.cpu_seconds +=
-        config_.cpu.per_edge_s + config_.cpu.per_message_s;
-    auto& slot = partials[MasterOf(e.dst)][e.dst];
-    if (P::kCombinable && !slot.empty()) {
-      slot[0] = P::Combine(slot[0], msg);
-    } else {
-      slot.push_back(msg);
-    }
-  }
-  // Ship partials to masters (the receiving handler only stages the bytes).
-  std::vector<uint8_t> tmp(kMsgSize);
-  for (uint32_t y = 0; y < config_.num_nodes; ++y) {
-    if (partials[y].empty()) continue;
-    std::vector<GroupedBatchCodec::Group> groups;
-    groups.reserve(partials[y].size());
-    for (auto& [v, msgs] : partials[y]) {
-      GroupedBatchCodec::Group g;
-      g.dst = v;
-      for (const Message& msg : msgs) {
-        PodCodec<Message>::Encode(msg, tmp.data());
-        g.payloads.push_back(tmp);
-      }
-      groups.push_back(std::move(g));
-    }
-    Buffer payload;
-    GroupedBatchCodec::Encode(groups, kMsgSize, &payload);
-    node.mem_highwater = std::max<uint64_t>(node.mem_highwater, payload.size());
-    HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kGatherPartial,
-                                        payload.AsSlice()));
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::ApplyScatterNode(Node& node) {
-  // Apply + Scatter at this master. Broadcast staging per replica node.
-  std::vector<Message> no_msgs;
-  std::vector<Buffer> bodies(config_.num_nodes);
-  std::vector<uint64_t> counts(config_.num_nodes, 0);
-  std::vector<uint8_t> tmp(kValueRecord);
-
-  for (VertexId v : node.owned) {
-    auto pit = node.pending.find(v);
-    const bool has_msgs = pit != node.pending.end();
-    const bool run_update = P::kAlwaysActive
-                                ? (superstep_ > 0 || program_.InitActive(v))
-                                : (has_msgs || (superstep_ == 0 &&
-                                                program_.InitActive(v)));
-    const uint32_t idx = node.replica_idx[v];
-    if (!run_update) {
-      // BSP semantics: a vertex that does not update this superstep does
-      // not respond this superstep. Clear a stale flag on every replica.
-      if (superstep_ > 0 && node.replica_responding[idx]) {
-        node.replica_responding[idx] = 0;
-        Value value;
-        HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
-        std::vector<uint8_t> vtmp(kValueRecord);
-        PodCodec<Value>::Encode(value, vtmp.data());
-        for (NodeId rn : node.replica_nodes[v]) {
-          if (rn == node.id) continue;
-          Encoder enc(&bodies[rn]);
-          enc.PutFixed32(v);
-          enc.PutU8(0);
-          enc.PutRaw(vtmp.data(), vtmp.size());
-          ++counts[rn];
-        }
-      }
-      continue;
-    }
-    Value value;
-    HG_RETURN_IF_ERROR(CachedRead(node, idx, &value));
-    const auto& msgs = has_msgs ? pit->second : no_msgs;
-    const UpdateResult res = program_.Update(v, &value, msgs, ctx_);
-    ++node.updated;
-    node.cpu_seconds += config_.cpu.per_vertex_update_s +
-                        config_.cpu.per_message_s * msgs.size();
-    if (res.changed) {
-      HG_RETURN_IF_ERROR(CachedWrite(node, idx, value));
-    }
-    if (res.respond) {
-      ++node.responded;
-    }
-    const uint8_t responding = res.respond ? 1 : 0;
-    const bool flag_changed =
-        node.replica_responding[idx] != responding;
-    node.replica_responding[idx] = responding;
-    // Mirror synchronization: value/flag changes go to every replica node.
-    if (res.changed || flag_changed) {
-      PodCodec<Value>::Encode(value, tmp.data());
-      for (NodeId rn : node.replica_nodes[v]) {
-        if (rn == node.id) continue;
-        Encoder enc(&bodies[rn]);
-        enc.PutFixed32(v);
-        enc.PutU8(responding);
-        enc.PutRaw(tmp.data(), tmp.size());
-        ++counts[rn];
-      }
-    }
-  }
-  node.pending.clear();
-
-  for (uint32_t y = 0; y < config_.num_nodes; ++y) {
-    if (counts[y] == 0) continue;
-    Buffer framed;
-    Encoder enc(&framed);
-    enc.PutVarint64(counts[y]);
-    enc.PutRaw(bodies[y].data(), bodies[y].size());
-    HG_RETURN_IF_ERROR(transport_->Post(node.id, y, RpcMethod::kApplyBroadcast,
-                                        framed.AsSlice()));
-  }
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::RunSuperstep() {
-  if (!loaded_) return Status::FailedPrecondition("Load() first");
-  ctx_.superstep = superstep_;
-  BeginAccounting();
-
-  // Gather fans out one task per node; the partial aggregates land as staged
-  // bytes at the masters and are folded in (sender order) after the barrier.
-  if (superstep_ > 0) {
-    HG_RETURN_IF_ERROR(pool_->ParallelFor(
-        config_.num_nodes, [this](uint32_t i) { return GatherNode(nodes_[i]); }));
-  }
-  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
-    return DrainGatherStaged(nodes_[i]);
-  }));
-
-  // Apply + Scatter, then fold the staged mirror updates into replica caches
-  // before accounting so dirty-eviction I/O lands in this superstep.
-  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
-    return ApplyScatterNode(nodes_[i]);
-  }));
-  HG_RETURN_IF_ERROR(pool_->ParallelFor(config_.num_nodes, [this](uint32_t i) {
-    return DrainApplyStaged(nodes_[i]);
-  }));
-
-  uint64_t responding_next = 0;
-  for (const auto& node : nodes_) responding_next += node.responded;
-
-  EndAccounting();
-  ++superstep_;
-  stats_.supersteps_run = superstep_;
-  responding_total_ = responding_next;
-  if (responding_next == 0 && superstep_ > 0) converged_ = true;
-  return Status::OK();
-}
-
-template <typename P>
-Status VPullEngine<P>::Run() {
-  const auto start = std::chrono::steady_clock::now();
-  while (superstep_ < config_.max_supersteps && !converged_) {
-    HG_RETURN_IF_ERROR(RunSuperstep());
-  }
-  stats_.converged = converged_;
-  stats_.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return Status::OK();
-}
-
-template <typename P>
-Result<std::vector<typename P::Value>> VPullEngine<P>::GatherValues() {
-  std::vector<Value> out(ctx_.num_vertices);
-  for (auto& node : nodes_) {
-    for (VertexId v : node.owned) {
-      Value value;
-      HG_RETURN_IF_ERROR(CachedRead(node, node.replica_idx[v], &value));
-      out[v] = value;
-    }
-  }
-  return out;
-}
 
 }  // namespace hybridgraph

@@ -120,81 +120,83 @@ constexpr auto kNumericValue = [](const auto& v) {
   return static_cast<double>(v);
 };
 
+/// For traversal algorithms with a `source` member: take it from the spec,
+/// or defer to the max-out-degree vertex once the graph is known (the
+/// paper's source-selection convention).
+template <typename P>
+std::unique_ptr<AnyEngine> MakeSourced(const JobConfig& config,
+                                       const AlgoSpec& spec) {
+  P program;
+  if (spec.source_set) program.source = spec.source;
+  const bool pick_source = !spec.source_set;
+  return MakeTyped(
+      config, program,
+      [pick_source](P& p, const EdgeListGraph& g) {
+        if (pick_source) p.source = MaxOutDegreeVertex(g);
+      },
+      kNumericValue);
+}
+
+/// The one registry of bundled algorithms: name, kind, and how to build a
+/// type-erased engine for it. Adding an algorithm means adding one row —
+/// AlgoKindName, ParseAlgoKind and MakeEngine all walk this table.
+struct AlgoEntry {
+  AlgoKind kind;
+  const char* name;
+  std::unique_ptr<AnyEngine> (*make)(const JobConfig&, const AlgoSpec&);
+};
+
+const AlgoEntry kAlgoTable[] = {
+    {AlgoKind::kPageRank, "pagerank",
+     [](const JobConfig& c, const AlgoSpec&) {
+       return MakeTyped(c, PageRankProgram{}, kNoPrepare, kNumericValue);
+     }},
+    {AlgoKind::kPageRankDelta, "pagerank-delta",
+     [](const JobConfig& c, const AlgoSpec&) {
+       return MakeTyped(c, PageRankDeltaProgram{}, kNoPrepare, kNumericValue);
+     }},
+    {AlgoKind::kSssp, "sssp", &MakeSourced<SsspProgram>},
+    {AlgoKind::kBfs, "bfs", &MakeSourced<BfsProgram>},
+    {AlgoKind::kLpa, "lpa",
+     [](const JobConfig& c, const AlgoSpec&) {
+       return MakeTyped(c, LpaProgram{}, kNoPrepare, kNumericValue);
+     }},
+    {AlgoKind::kSa, "sa",
+     [](const JobConfig& c, const AlgoSpec& spec) {
+       SaProgram program;
+       if (spec.sa_source_stride != 0) {
+         program.source_stride = spec.sa_source_stride;
+       }
+       return MakeTyped(c, program, kNoPrepare, [](const SaProgram::Value& v) {
+         return static_cast<double>(std::popcount(v.adopted));
+       });
+     }},
+    {AlgoKind::kWcc, "wcc",
+     [](const JobConfig& c, const AlgoSpec&) {
+       return MakeTyped(c, WccProgram{}, kNoPrepare, kNumericValue);
+     }},
+};
+
 }  // namespace
 
 const char* AlgoKindName(AlgoKind kind) {
-  switch (kind) {
-    case AlgoKind::kPageRank:
-      return "pagerank";
-    case AlgoKind::kPageRankDelta:
-      return "pagerank-delta";
-    case AlgoKind::kSssp:
-      return "sssp";
-    case AlgoKind::kBfs:
-      return "bfs";
-    case AlgoKind::kLpa:
-      return "lpa";
-    case AlgoKind::kSa:
-      return "sa";
-    case AlgoKind::kWcc:
-      return "wcc";
+  for (const AlgoEntry& entry : kAlgoTable) {
+    if (entry.kind == kind) return entry.name;
   }
   return "?";
 }
 
 Result<AlgoKind> ParseAlgoKind(const std::string& name) {
-  for (AlgoKind kind :
-       {AlgoKind::kPageRank, AlgoKind::kPageRankDelta, AlgoKind::kSssp,
-        AlgoKind::kBfs, AlgoKind::kLpa, AlgoKind::kSa, AlgoKind::kWcc}) {
-    if (name == AlgoKindName(kind)) return kind;
+  for (const AlgoEntry& entry : kAlgoTable) {
+    if (name == entry.name) return entry.kind;
   }
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
 
 Result<std::unique_ptr<AnyEngine>> MakeEngine(const JobConfig& config,
                                               const AlgoSpec& spec) {
-  switch (spec.kind) {
-    case AlgoKind::kPageRank:
-      return MakeTyped(config, PageRankProgram{}, kNoPrepare, kNumericValue);
-    case AlgoKind::kPageRankDelta:
-      return MakeTyped(config, PageRankDeltaProgram{}, kNoPrepare,
-                       kNumericValue);
-    case AlgoKind::kSssp: {
-      SsspProgram program;
-      if (spec.source_set) program.source = spec.source;
-      const bool pick_source = !spec.source_set;
-      return MakeTyped(
-          config, program,
-          [pick_source](SsspProgram& p, const EdgeListGraph& g) {
-            if (pick_source) p.source = MaxOutDegreeVertex(g);
-          },
-          kNumericValue);
-    }
-    case AlgoKind::kBfs: {
-      BfsProgram program;
-      if (spec.source_set) program.source = spec.source;
-      const bool pick_source = !spec.source_set;
-      return MakeTyped(
-          config, program,
-          [pick_source](BfsProgram& p, const EdgeListGraph& g) {
-            if (pick_source) p.source = MaxOutDegreeVertex(g);
-          },
-          kNumericValue);
-    }
-    case AlgoKind::kLpa:
-      return MakeTyped(config, LpaProgram{}, kNoPrepare, kNumericValue);
-    case AlgoKind::kSa: {
-      SaProgram program;
-      if (spec.sa_source_stride != 0) {
-        program.source_stride = spec.sa_source_stride;
-      }
-      return MakeTyped(config, program, kNoPrepare,
-                       [](const SaProgram::Value& v) {
-                         return static_cast<double>(std::popcount(v.adopted));
-                       });
-    }
-    case AlgoKind::kWcc:
-      return MakeTyped(config, WccProgram{}, kNoPrepare, kNumericValue);
+  for (const AlgoEntry& entry : kAlgoTable) {
+    if (entry.kind == spec.kind) return entry.make(config, spec);
   }
   return Status::InvalidArgument("unknown AlgoKind");
 }

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
+#include "algos/wcc.h"
 #include "core/engine.h"
 #include "graph/generator.h"
 
@@ -221,6 +223,75 @@ TEST(Hybrid, PredictionTracePopulated) {
     if (s.actual_cio_push > 0 || s.actual_cio_bpull > 0) ++populated;
   }
   EXPECT_GT(populated, 3);
+}
+
+/// Runs a hybrid job and renders its production-mode trace as one character
+/// per superstep ('P' = push, 'B' = b-pull) plus the list of supersteps whose
+/// record carries the switched flag, e.g. "PPBBBBPP switches=[2,6]".
+template <typename P>
+std::string ModeTrace(const EdgeListGraph& g, P program, JobConfig cfg) {
+  Engine<P> engine(cfg, program);
+  Status st = engine.Load(g);
+  if (!st.ok()) return "LOAD-FAIL: " + st.ToString();
+  st = engine.Run();
+  if (!st.ok()) return "RUN-FAIL: " + st.ToString();
+  std::string trace;
+  std::string switches;
+  for (const auto& s : engine.stats().supersteps) {
+    trace += s.mode == EngineMode::kPush
+                 ? 'P'
+                 : (s.mode == EngineMode::kBPull ? 'B' : '?');
+    if (s.switched) {
+      if (!switches.empty()) switches += ',';
+      switches += std::to_string(s.superstep);
+    }
+  }
+  return trace + " switches=[" + switches + "]";
+}
+
+JobConfig HybridConfig(uint64_t msg_buffer, int max_supersteps) {
+  JobConfig cfg;
+  cfg.mode = EngineMode::kHybrid;
+  cfg.num_nodes = 4;
+  cfg.msg_buffer_per_node = msg_buffer;
+  cfg.max_supersteps = max_supersteps;
+  return cfg;
+}
+
+// Golden switch-sequence traces. These pin the exact Eq. (11) decision
+// sequence — graph generation, the Q_t inputs, Δt suppression and the
+// switch supersteps are all deterministic, so any refactor of the engine
+// pipeline must reproduce these strings bit-for-bit.
+TEST(HybridGolden, PageRankLocalStaysInBPull) {
+  EXPECT_EQ(ModeTrace(LocalGraph(), PageRankProgram{}, HybridConfig(200, 6)),
+            "BBBBBB switches=[]");
+}
+
+TEST(HybridGolden, SsspFig14aSwitchSequence) {
+  SsspProgram program;
+  program.source = 1;
+  EXPECT_EQ(ModeTrace(GeneratePowerLaw(2000, 12.0, 0.9, 5, /*locality=*/0.7),
+                      program, HybridConfig(100, 120)),
+            "PPBBBBBBBBBBPPPP switches=[2,12]");
+}
+
+TEST(HybridGolden, SsspScatteredSwitchSequence) {
+  SsspProgram program;
+  program.source = 1;
+  EXPECT_EQ(ModeTrace(GeneratePowerLaw(2000, 12.0, 1.0, 5, /*locality=*/0.5),
+                      program, HybridConfig(100, 120)),
+            "PPBBBBBBBBBBPPPP switches=[2,12]");
+}
+
+TEST(HybridGolden, WccScatteredSwitchSequence) {
+  EXPECT_EQ(ModeTrace(GeneratePowerLaw(2000, 12.0, 1.0, 5, /*locality=*/0.5),
+                      WccProgram{}, HybridConfig(150, 60)),
+            "BBBBBBBBPP switches=[8]");
+}
+
+TEST(HybridGolden, WccLocalSwitchSequence) {
+  EXPECT_EQ(ModeTrace(LocalGraph(), WccProgram{}, HybridConfig(150, 60)),
+            "BBBBBBBBBP switches=[9]");
 }
 
 TEST(Hybrid, SwitchSuperstepDoesBothPullAndPush) {

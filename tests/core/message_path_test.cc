@@ -1,0 +1,302 @@
+// Strategy conformance: every MessagePath (push, pushM, b-pull, vpull and
+// the hybrid combination) must compute reference-identical results when
+// driven through the same SuperstepDriver fixture — the paths differ only in
+// how messages move, never in what the program computes. Each conformance
+// check runs fully sequential (1 thread) and parallel (8 threads).
+#include "core/message_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/wcc.h"
+#include "core/paths/bpull_path.h"
+#include "core/paths/push_m_path.h"
+#include "core/paths/push_path.h"
+#include "core/paths/vpull_path.h"
+#include "core/superstep_driver.h"
+#include "graph/generator.h"
+#include "tests/core/reference_impls.h"
+
+namespace hybridgraph {
+namespace {
+
+EdgeListGraph TestGraph(uint64_t seed = 11) {
+  return GeneratePowerLaw(800, 7.0, 0.8, seed);
+}
+
+/// A driver plus the installed strategies — the same wiring the Engine /
+/// VPullEngine facades do, but exposed so tests can drive any path through
+/// one shared fixture.
+template <typename P>
+struct DriverRig {
+  std::unique_ptr<SuperstepDriver<P>> driver;
+  std::unique_ptr<PushPath<P>> push;
+  std::unique_ptr<BPullPath<P>> bpull;
+  std::unique_ptr<VPullPath<P>> vpull;
+
+  Result<std::vector<typename P::Value>> Gather() {
+    if (vpull) return vpull->GatherValues();
+    return driver->GatherValues();
+  }
+};
+
+template <typename P>
+DriverRig<P> MakeRig(const JobConfig& cfg, P program) {
+  DriverRig<P> rig;
+  if (cfg.mode == EngineMode::kVPull) {
+    rig.driver = std::make_unique<SuperstepDriver<P>>(cfg, program,
+                                                      /*gas_engine=*/true);
+    rig.vpull = std::make_unique<VPullPath<P>>(rig.driver.get());
+    rig.driver->InstallPath(rig.vpull.get(), /*active=*/true);
+    return rig;
+  }
+  rig.driver = std::make_unique<SuperstepDriver<P>>(cfg, program,
+                                                    /*gas_engine=*/false);
+  if (cfg.mode == EngineMode::kPushM) {
+    rig.push = std::make_unique<PushMPath<P>>(rig.driver.get());
+  } else {
+    rig.push = std::make_unique<PushPath<P>>(rig.driver.get());
+  }
+  rig.bpull = std::make_unique<BPullPath<P>>(rig.driver.get());
+  rig.driver->InstallPath(rig.push.get(),
+                          /*active=*/cfg.mode != EngineMode::kBPull);
+  rig.driver->InstallPath(rig.bpull.get(),
+                          /*active=*/cfg.mode == EngineMode::kBPull ||
+                              cfg.mode == EngineMode::kHybrid);
+  return rig;
+}
+
+JobConfig BaseConfig(EngineMode mode, uint32_t threads) {
+  JobConfig cfg;
+  cfg.mode = mode;
+  cfg.num_nodes = 4;
+  cfg.num_threads = threads;
+  cfg.msg_buffer_per_node = 120;  // forces spilling under push
+  cfg.max_supersteps = 50;
+  return cfg;
+}
+
+constexpr EngineMode kAllModes[] = {EngineMode::kPush, EngineMode::kPushM,
+                                    EngineMode::kVPull, EngineMode::kBPull,
+                                    EngineMode::kHybrid};
+
+class MessagePathConformance : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MessagePathConformance, PageRankMatchesReference) {
+  const auto g = TestGraph();
+  constexpr int kSteps = 6;
+  const auto expected = ReferencePageRank(g, kSteps);
+  for (EngineMode mode : kAllModes) {
+    JobConfig cfg = BaseConfig(mode, GetParam());
+    cfg.max_supersteps = kSteps;
+    auto rig = MakeRig(cfg, PageRankProgram{});
+    ASSERT_TRUE(rig.driver->Load(g).ok()) << EngineModeName(mode);
+    ASSERT_TRUE(rig.driver->Run().ok()) << EngineModeName(mode);
+    const auto got = rig.Gather().ValueOrDie();
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_NEAR(got[v], expected[v], 1e-12)
+          << "mode=" << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST_P(MessagePathConformance, SsspMatchesBellmanFord) {
+  const auto g = TestGraph();
+  SsspProgram program;
+  program.source = 17;
+  const auto expected = ReferenceSssp(g, program.source);
+  for (EngineMode mode : kAllModes) {
+    JobConfig cfg = BaseConfig(mode, GetParam());
+    cfg.max_supersteps = 200;
+    auto rig = MakeRig(cfg, program);
+    ASSERT_TRUE(rig.driver->Load(g).ok()) << EngineModeName(mode);
+    ASSERT_TRUE(rig.driver->Run().ok()) << EngineModeName(mode);
+    EXPECT_TRUE(rig.driver->converged()) << EngineModeName(mode);
+    const auto got = rig.Gather().ValueOrDie();
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_FLOAT_EQ(got[v], expected[v])
+          << "mode=" << EngineModeName(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST_P(MessagePathConformance, WccMatchesMinLabelFlood) {
+  const auto g = TestGraph(23);
+  const auto expected = ReferenceMinLabel(g);
+  for (EngineMode mode : kAllModes) {
+    JobConfig cfg = BaseConfig(mode, GetParam());
+    cfg.max_supersteps = 200;
+    auto rig = MakeRig(cfg, WccProgram{});
+    ASSERT_TRUE(rig.driver->Load(g).ok()) << EngineModeName(mode);
+    ASSERT_TRUE(rig.driver->Run().ok()) << EngineModeName(mode);
+    EXPECT_TRUE(rig.driver->converged()) << EngineModeName(mode);
+    const auto got = rig.Gather().ValueOrDie();
+    EXPECT_EQ(got, expected) << EngineModeName(mode);
+  }
+}
+
+TEST_P(MessagePathConformance, MetricsTagTheProducingPath) {
+  // Every superstep record must carry the mode of the path that produced it,
+  // and single-mode runs must never report another path's mode.
+  const auto g = TestGraph();
+  for (EngineMode mode : {EngineMode::kPush, EngineMode::kPushM,
+                          EngineMode::kVPull, EngineMode::kBPull}) {
+    JobConfig cfg = BaseConfig(mode, GetParam());
+    cfg.max_supersteps = 5;
+    auto rig = MakeRig(cfg, PageRankProgram{});
+    ASSERT_TRUE(rig.driver->Load(g).ok()) << EngineModeName(mode);
+    ASSERT_TRUE(rig.driver->Run().ok()) << EngineModeName(mode);
+    ASSERT_FALSE(rig.driver->stats().supersteps.empty());
+    for (const auto& s : rig.driver->stats().supersteps) {
+      EXPECT_EQ(s.mode, mode) << EngineModeName(mode) << " superstep "
+                              << s.superstep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MessagePathConformance,
+                         ::testing::Values(1u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(MessagePathCapabilities, PathsDeclareTheirNeeds) {
+  JobConfig cfg = BaseConfig(EngineMode::kHybrid, 1);
+  SuperstepDriver<PageRankProgram> driver(cfg, PageRankProgram{},
+                                          /*gas_engine=*/false);
+  PushPath<PageRankProgram> push(&driver);
+  PushMPath<PageRankProgram> pushm(&driver);
+  BPullPath<PageRankProgram> bpull(&driver);
+  VPullPath<PageRankProgram> vpull(&driver);
+
+  EXPECT_EQ(push.mode(), EngineMode::kPush);
+  EXPECT_TRUE(push.needs_adjacency());
+  EXPECT_FALSE(push.needs_veblocks());
+
+  EXPECT_EQ(pushm.mode(), EngineMode::kPushM);
+  EXPECT_TRUE(pushm.needs_adjacency());
+
+  EXPECT_EQ(bpull.mode(), EngineMode::kBPull);
+  EXPECT_FALSE(bpull.needs_adjacency());
+  EXPECT_TRUE(bpull.needs_veblocks());
+
+  EXPECT_EQ(vpull.mode(), EngineMode::kVPull);
+  EXPECT_FALSE(vpull.needs_adjacency());
+  EXPECT_FALSE(vpull.needs_veblocks());
+  EXPECT_FALSE(vpull.supports_aggregator());
+  EXPECT_FALSE(vpull.hybrid_metrics());
+
+  // Block paths participate in aggregation and hybrid accounting.
+  EXPECT_TRUE(push.supports_aggregator());
+  EXPECT_TRUE(bpull.hybrid_metrics());
+}
+
+TEST(MessagePathCapabilities, ServePullOnlyOnPullPaths) {
+  // The driver routes kPullRequest to the b-pull slot; a path that does not
+  // serve pulls must say so rather than silently answer.
+  JobConfig cfg = BaseConfig(EngineMode::kPush, 1);
+  SuperstepDriver<PageRankProgram> driver(cfg, PageRankProgram{},
+                                          /*gas_engine=*/false);
+  PushPath<PageRankProgram> push(&driver);
+  NodeState node;
+  Buffer response;
+  const Status st = push.ServePull(node, 0, Slice(), &response);
+  EXPECT_FALSE(st.ok());
+}
+
+// ------------------------------------------------------------- trace spans
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+size_t CountOccurrences(const std::string& hay, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceSpans, HybridRunWritesChromeTracingJson) {
+  const std::string path =
+      ::testing::TempDir() + "/hg_trace_spans_test.json";
+  std::remove(path.c_str());
+
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig(EngineMode::kHybrid, 2);
+  cfg.max_supersteps = 4;
+  cfg.trace_path = path;
+  auto rig = MakeRig(cfg, PageRankProgram{});
+  ASSERT_TRUE(rig.driver->Load(g).ok());
+  ASSERT_TRUE(rig.driver->Run().ok());
+  EXPECT_GT(rig.driver->trace()->num_events(), 0u);
+
+  const std::string json = ReadFileOrEmpty(path);
+  ASSERT_FALSE(json.empty());
+  // Trace Event Format essentials chrome://tracing requires.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Well-formed JSON object: balanced braces/brackets, object at top level.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+  EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
+  // One driver-level span (pid 0) per phase per superstep, plus per-node
+  // spans (pid = node+1) underneath.
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"consume\""),
+            static_cast<size_t>(cfg.max_supersteps) * (1 + cfg.num_nodes));
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"update\""),
+            static_cast<size_t>(cfg.max_supersteps) * (1 + cfg.num_nodes));
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"drain\""),
+            static_cast<size_t>(cfg.max_supersteps) * (1 + cfg.num_nodes));
+  // Span args carry the superstep and the mode name.
+  EXPECT_NE(json.find("\"superstep\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\""), std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceSpans, DisabledByDefaultAndZeroEvents) {
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig(EngineMode::kBPull, 1);
+  cfg.max_supersteps = 2;
+  auto rig = MakeRig(cfg, PageRankProgram{});
+  ASSERT_TRUE(rig.driver->Load(g).ok());
+  ASSERT_TRUE(rig.driver->Run().ok());
+  EXPECT_FALSE(rig.driver->trace()->enabled());
+  EXPECT_EQ(rig.driver->trace()->num_events(), 0u);
+}
+
+TEST(TraceSpans, PhaseWallTimesPopulateMetrics) {
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig(EngineMode::kPush, 1);
+  cfg.max_supersteps = 3;
+  auto rig = MakeRig(cfg, PageRankProgram{});
+  ASSERT_TRUE(rig.driver->Load(g).ok());
+  ASSERT_TRUE(rig.driver->Run().ok());
+  for (const auto& s : rig.driver->stats().supersteps) {
+    EXPECT_GE(s.phase_consume_wall_s, 0.0);
+    EXPECT_GE(s.phase_update_wall_s, 0.0);
+    EXPECT_GE(s.phase_drain_wall_s, 0.0);
+    // The update sweep always does real work.
+    EXPECT_GT(s.phase_update_wall_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hybridgraph

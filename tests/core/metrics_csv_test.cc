@@ -76,6 +76,38 @@ TEST(MetricsCsv, ValuesMatchStats) {
   }
 }
 
+TEST(MetricsCsv, PhaseWallColumnsPresentAndMatchStats) {
+  const JobStats stats = RunSmallJob();
+  const std::string csv = SuperstepMetricsCsv(stats);
+  const auto lines = SplitString(TrimString(csv), '\n');
+  const auto header = SplitString(lines[0], ',');
+  size_t consume_col = 0, update_col = 0, drain_col = 0;
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == "phase_consume_s") consume_col = c;
+    if (header[c] == "phase_update_s") update_col = c;
+    if (header[c] == "phase_drain_s") drain_col = c;
+  }
+  ASSERT_GT(consume_col, 0u);
+  ASSERT_GT(update_col, 0u);
+  ASSERT_GT(drain_col, 0u);
+  for (size_t i = 0; i < stats.supersteps.size(); ++i) {
+    const auto row = SplitString(lines[i + 1], ',');
+    // %.9g keeps 9 significant digits, so compare with a relative tolerance.
+    EXPECT_NEAR(std::stod(row[consume_col]),
+                stats.supersteps[i].phase_consume_wall_s,
+                stats.supersteps[i].phase_consume_wall_s * 1e-6 + 1e-12);
+    EXPECT_NEAR(std::stod(row[update_col]),
+                stats.supersteps[i].phase_update_wall_s,
+                stats.supersteps[i].phase_update_wall_s * 1e-6 + 1e-12);
+    EXPECT_NEAR(std::stod(row[drain_col]),
+                stats.supersteps[i].phase_drain_wall_s,
+                stats.supersteps[i].phase_drain_wall_s * 1e-6 + 1e-12);
+    // Wall clocks are nonnegative; the update sweep always does real work.
+    EXPECT_GE(stats.supersteps[i].phase_consume_wall_s, 0.0);
+    EXPECT_GT(stats.supersteps[i].phase_update_wall_s, 0.0);
+  }
+}
+
 TEST(MetricsCsv, WritesFile) {
   const JobStats stats = RunSmallJob();
   const std::string path = ::testing::TempDir() + "/hg_metrics_test.csv";

@@ -25,6 +25,7 @@ struct Options {
   std::string mode = "hybrid";
   std::string disk = "hdd";
   std::string csv;
+  std::string trace_json;
   uint32_t nodes = 5;
   uint32_t threads = 1;
   uint64_t buffer = UINT64_MAX;
@@ -56,6 +57,7 @@ void Usage() {
       "  --memory           memory-resident scenario (no modeled I/O)\n"
       "  --csv FILE         write per-superstep metrics as CSV\n"
       "  --trace            print the per-superstep table\n"
+      "  --trace-json FILE  write per-phase spans as chrome://tracing JSON\n"
       "  --tcp              run the frame protocol over loopback TCP\n"
       "  --tcp-timeout MS   per-call deadline, TCP only          (default 5000)\n"
       "  --tcp-retries N    retry attempts beyond the first      (default 3)\n"
@@ -112,6 +114,7 @@ int RunJob(const Options& opt, const EdgeListGraph& graph, EngineMode mode,
   if (opt.tcp) cfg.transport = TransportKind::kTcp;
   cfg.tcp_call_timeout_ms = opt.tcp_timeout_ms;
   cfg.tcp_max_retries = opt.tcp_retries;
+  cfg.trace_path = opt.trace_json;
   cfg.failpoints = opt.failpoints;
   if (cfg.failpoints.empty()) {
     if (const char* env = std::getenv("HG_FAILPOINTS")) cfg.failpoints = env;
@@ -197,6 +200,8 @@ int main(int argc, char** argv) {
       opt.failpoints = next();
     } else if (arg == "--trace") {
       opt.trace = true;
+    } else if (arg == "--trace-json") {
+      opt.trace_json = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
