@@ -65,11 +65,10 @@ void BM_MemStorageReadRange(benchmark::State& state) {
   std::vector<uint8_t> blob(1 << 20, 7);
   (void)storage.Write("k", Slice(blob), IoClass::kSeqWrite);
   Rng rng(3);
-  std::vector<uint8_t> out;
   for (auto _ : state) {
     const uint64_t off = rng.NextBounded((1 << 20) - 16);
-    benchmark::DoNotOptimize(
-        storage.ReadRange("k", off, 16, &out, IoClass::kRandRead));
+    benchmark::DoNotOptimize(storage.Read(
+        "k", {.offset = off, .length = 16, .io_class = IoClass::kRandRead}));
   }
 }
 BENCHMARK(BM_MemStorageReadRange);

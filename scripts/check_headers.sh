@@ -29,6 +29,9 @@ src/core/inbox.h
 src/core/send_staging.h
 src/core/trace.h
 src/core/recovery.h
+src/io/storage.h
+src/io/prefetch.h
+src/io/message_spill.h
 "
 
 failed=0

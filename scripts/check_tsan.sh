@@ -6,9 +6,13 @@ set -eu
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHG_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target hg_util_tests hg_core_tests
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target hg_util_tests hg_core_tests hg_io_tests
 
 export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 "$BUILD_DIR"/tests/hg_util_tests --gtest_filter='ThreadPool.*'
-"$BUILD_DIR"/tests/hg_core_tests --gtest_filter='*Parallel*:*MessagePathConformance*'
-echo "TSan clean: thread pool + parallel engine tests ran race-free"
+"$BUILD_DIR"/tests/hg_core_tests --gtest_filter='*Parallel*:*MessagePathConformance*:*Pipeline*'
+# The prefetch pipeline is the one place a background thread touches storage
+# while compute threads read through it — the mutation-observer and
+# Fetch/Cancel races live here.
+"$BUILD_DIR"/tests/hg_io_tests --gtest_filter='Prefetch*:*AsyncRead*'
+echo "TSan clean: thread pool + parallel engine + prefetch pipeline tests ran race-free"

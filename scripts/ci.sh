@@ -17,6 +17,16 @@ cmake --build build -j "$(nproc)"
 echo "==> spill micro-benchmark (BENCH_spill.json)"
 ./build/bench/bench_spill BENCH_spill.json
 
+echo "==> overlapped-I/O pipeline bench (BENCH_pipeline.json)"
+./build/bench/bench_pipeline BENCH_pipeline.json
+
+# Keep the benchmark baselines under version control so regressions show up
+# as diffs; skip quietly when the numbers did not change (or outside git).
+if [ -n "$(git status --porcelain BENCH_spill.json BENCH_pipeline.json 2>/dev/null)" ]; then
+  git add BENCH_spill.json BENCH_pipeline.json
+  git commit -m "Update CI benchmark baselines"
+fi
+
 echo "==> AddressSanitizer sweep"
 sh scripts/check_asan.sh build-asan
 

@@ -25,10 +25,25 @@ Status JobConfig::Validate(const JobFacts& facts) const {
         "msg_buffer_per_node must be nonzero (B_i appears as a divisor in "
         "the Vblock derivation, Eq. 5/6)");
   }
-  if (spill_merge_buffer_bytes == 0) {
+  if (io.spill_merge_buffer_bytes == 0) {
     return Status::InvalidArgument(
-        "spill_merge_buffer_bytes must be nonzero (the streaming spill merge "
-        "needs at least one record of buffer per run)");
+        "io.spill_merge_buffer_bytes must be nonzero (the streaming spill "
+        "merge needs at least one record of buffer per run)");
+  }
+  if (io.prefetch_depth > 0 && io.prefetch_budget_bytes == 0) {
+    return Status::InvalidArgument(
+        "io.prefetch_budget_bytes must be nonzero when prefetching is on "
+        "(io.prefetch_depth > 0)");
+  }
+  if (io.prefetch_depth > 0 && io.prefetch_threads == 0) {
+    return Status::InvalidArgument(
+        "io.prefetch_threads must be nonzero when prefetching is on "
+        "(io.prefetch_depth > 0)");
+  }
+  if (io.prefetch_threads > 256) {
+    return Status::InvalidArgument(StringFormat(
+        "io.prefetch_threads = %u is not a plausible I/O pool width (max 256)",
+        io.prefetch_threads));
   }
   if (max_supersteps < 0) {
     return Status::InvalidArgument("max_supersteps must be >= 0");

@@ -73,9 +73,11 @@ Status CollectPushMessages(NodeState& node, const PushCollectPolicy& policy) {
   if (inbox.spill()->num_runs() > 0) {
     // Streaming k-way merge: never materializes the spilled volume. The
     // drain's working set is the pending map plus num_runs ×
-    // spill_merge_buffer_bytes of run buffers.
+    // spill_merge_buffer_bytes of run buffers. The node's ReadPipeline (when
+    // on) double-buffers each run's next chunk behind the consume loop.
     HG_ASSIGN_OR_RETURN(auto it, inbox.spill()->NewMergeIterator(
-                                     policy.spill_merge_buffer_bytes));
+                                     policy.spill_merge_buffer_bytes,
+                                     node.pipeline.get()));
     while (it->Valid()) {
       const SpillEntry& e = it->entry();
       node.pending.Add(node.LocalIdx(e.dst), e.payload.data());

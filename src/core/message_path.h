@@ -87,6 +87,18 @@ class MessagePath {
   /// Post-Phase-B barrier drain for node i (staged push batches etc.).
   virtual Status AfterProduce(uint32_t i) = 0;
 
+  /// Compute/communication overlap hook, run per node right after
+  /// AfterProduce(i) in the same drain task (traced as "drain.overlap"):
+  /// the path schedules background readahead for the data its NEXT
+  /// superstep's consume/serve phase will touch, so the reads overlap the
+  /// remaining drain work of the other nodes and the aggregator exchange.
+  /// Must not touch modeled counters — prefetch reads are metered at the
+  /// consumption point, never here.
+  virtual Status WarmupNextSuperstep(uint32_t i) {
+    (void)i;
+    return Status::OK();
+  }
+
   /// Folds node counters into this superstep's metrics record.
   virtual SuperstepMetrics EndAccounting(EngineMode produce_mode,
                                          bool switched) = 0;

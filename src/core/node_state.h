@@ -19,6 +19,7 @@
 #include "graph/partition.h"
 #include "graph/ve_block_store.h"
 #include "graph/vertex_store.h"
+#include "io/prefetch.h"
 #include "io/storage.h"
 #include "net/transport.h"
 
@@ -33,6 +34,10 @@ struct NodeState {
   std::unique_ptr<VertexValueStore> vstore;
   std::unique_ptr<AdjacencyStore> adj;
   std::unique_ptr<VeBlockStore> ve;
+  // Overlapped-I/O readahead over `storage` (null when prefetch is off).
+  // Declared after `storage` so it is destroyed first: its destructor
+  // cancels and waits out background reads while storage is still alive.
+  std::unique_ptr<ReadPipeline> pipeline;
 
   VertexRange range;
   // Runtime flags, indexed by (v - range.begin).
@@ -100,6 +105,12 @@ struct NodeState {
   uint64_t spill_buffer_peak = 0;    ///< run-buffer bytes held by the merge
   uint64_t spill_resident_peak = 0;  ///< peak resident spill entries
   uint64_t spill_combined = 0;       ///< combiner reductions (spill + merge)
+  // Prefetch-pipeline observability (drained from ReadPipeline at
+  // end-of-superstep accounting; measured, not modeled).
+  uint64_t prefetch_scheduled = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+  uint64_t prefetch_hit_bytes = 0;
   // I/O classification counters (bytes).
   IoBreakdown io;
 

@@ -89,7 +89,7 @@ class BlockPathBase : public MessagePath<P> {
     collect_policy_.msg_record_size = 4 + P::kMessageSize;
     collect_policy_.online_compute = config.mode == EngineMode::kPushM;
     collect_policy_.combinable = P::kCombinable;
-    collect_policy_.spill_merge_buffer_bytes = config.spill_merge_buffer_bytes;
+    collect_policy_.spill_merge_buffer_bytes = config.io.spill_merge_buffer_bytes;
     collect_policy_.per_spilled_message_s = config.cpu.per_spilled_message_s;
   }
 

@@ -46,6 +46,32 @@ class BPullPath : public BlockPathBase<P> {
                                 this->driver_->transport(), policy);
   }
 
+  Status WarmupNextSuperstep(uint32_t i) override {
+    NodeState& node = this->driver_->nodes()[i];
+    if (!node.pipeline || !node.pipeline->enabled()) return Status::OK();
+    // Next superstep's Pull-Requests will scan the Eblocks of responding
+    // local Vblocks (vblock_res_next promotes to vblock_res at the barrier).
+    // Stage the first few in ascending (target, source) order — the order
+    // requesters walk their target Vblocks — capped at the pipeline depth so
+    // the warmup never evicts itself.
+    const RangePartition& partition = this->driver_->partition();
+    const uint32_t first_vb = partition.FirstVblockOf(node.id);
+    const uint32_t last_vb = partition.LastVblockOf(node.id);
+    const uint32_t depth = this->driver_->config().io.prefetch_depth;
+    uint32_t scheduled = 0;
+    for (uint32_t target_vb = 0;
+         target_vb < partition.num_vblocks() && scheduled < depth;
+         ++target_vb) {
+      for (uint32_t vb = first_vb; vb < last_vb && scheduled < depth; ++vb) {
+        if (!node.vblock_res_next[vb - first_vb]) continue;
+        if (!node.ve->HasEdges(vb, target_vb)) continue;
+        node.ve->PrefetchEblock(vb, target_vb, node.pipeline.get());
+        ++scheduled;
+      }
+    }
+    return Status::OK();
+  }
+
   Status ServePull(NodeState& node, NodeId requester, Slice payload,
                    Buffer* response) override {
     // Algorithm 2 (Pull-Respond) for Vblock b_i requested by `requester`.
@@ -77,15 +103,27 @@ class BPullPath : public BlockPathBase<P> {
     uint64_t produced = 0;
     uint64_t combined_away = 0;
 
+    // Step 1-2: X_j.res and the bitmap gate the Eblock scan. The candidate
+    // list is known up front, so the pipeline stays one Eblock ahead of the
+    // scan below.
     const uint32_t first_vb = partition.FirstVblockOf(node.id);
     const uint32_t last_vb = partition.LastVblockOf(node.id);
+    std::vector<uint32_t> candidates;
     for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
-      // Step 1-2: X_j.res and the bitmap gate the Eblock scan.
       if (!node.vblock_res[vb - first_vb]) continue;
       if (!node.ve->HasEdges(vb, target_vb)) continue;
+      candidates.push_back(vb);
+    }
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      const uint32_t vb = candidates[ci];
+      if (ci + 1 < candidates.size() && node.pipeline) {
+        node.ve->PrefetchEblock(candidates[ci + 1], target_vb,
+                                node.pipeline.get());
+      }
 
       VeBlockStore::ScanResult scan;
-      HG_RETURN_IF_ERROR(node.ve->ScanEblock(vb, target_vb, &scan));
+      HG_RETURN_IF_ERROR(
+          node.ve->ScanEblock(vb, target_vb, &scan, node.pipeline.get()));
       serve.io.eblock_edge_bytes += scan.edge_bytes;
       serve.io.fragment_aux_bytes += scan.aux_bytes;
       // Decoding scans the whole Eblock, useless edges included (Appendix C:

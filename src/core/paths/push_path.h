@@ -38,6 +38,17 @@ class PushPath : public BlockPathBase<P> {
     return CollectPushMessages(node, this->collect_policy_);
   }
 
+  Status WarmupNextSuperstep(uint32_t i) override {
+    NodeState& node = this->driver_->nodes()[i];
+    if (!node.pipeline || !node.pipeline->enabled()) return Status::OK();
+    // Next superstep's consume merges inbox_next's spill runs (it becomes
+    // inbox_cur at the promotion barrier): stage each run's first chunk now
+    // so the merge's opening refills overlap the drain/aggregator exchange.
+    node.inbox_next.spill()->WarmupMerge(
+        this->collect_policy_.spill_merge_buffer_bytes, node.pipeline.get());
+    return Status::OK();
+  }
+
   Status ProduceVblock(NodeState& node, uint32_t vb,
                        const std::vector<uint8_t>& respond_in_vb,
                        const std::vector<uint8_t>& block_values) override {
@@ -55,8 +66,15 @@ class PushPath : public BlockPathBase<P> {
 
     const JobConfig& config = this->driver_->config();
     const RangePartition& partition = this->driver_->partition();
+    // Stage the next Vblock's adjacency before consuming this one
+    // (responding blocks cluster, so the speculative read usually lands);
+    // a wrong guess is just dropped from the pipeline later.
+    if (node.pipeline && node.pipeline->enabled() &&
+        vb + 1 < partition.LastVblockOf(node.id)) {
+      node.adj->PrefetchBlock(vb + 1, node.pipeline.get());
+    }
     std::vector<AdjacencyStore::VertexAdj> adj;
-    HG_RETURN_IF_ERROR(node.adj->ReadBlock(vb, &adj));
+    HG_RETURN_IF_ERROR(node.adj->ReadBlock(vb, &adj, node.pipeline.get()));
     node.io.adj_edge_bytes += node.adj->BlockBytes(vb);
     node.cpu_seconds +=
         config.cpu.per_edge_s * static_cast<double>(node.adj->BlockEdges(vb));

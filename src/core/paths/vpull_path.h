@@ -32,6 +32,7 @@
 #include "core/lru_cache.h"
 #include "core/message_path.h"
 #include "core/superstep_driver.h"
+#include "io/prefetch.h"
 #include "io/storage.h"
 #include "net/message_codec.h"
 #include "util/codec.h"
@@ -71,6 +72,19 @@ class VPullPath : public MessagePath<P> {
       HG_ASSIGN_OR_RETURN(
           node.storage,
           MakeNodeStorage(config, "gas" + std::to_string(i)));
+      if (driver_->io_pool() != nullptr) {
+        node.pipeline = std::make_unique<ReadPipeline>(
+            node.storage.get(), driver_->io_pool(), config.io.prefetch_depth,
+            config.io.prefetch_budget_bytes);
+        node.pipeline->SetSpanSink(
+            [this, node_id = static_cast<int>(i)](
+                const char* name, int superstep, int mode, uint64_t start_us,
+                uint64_t end_us) {
+              driver_->trace()->AddSteadySpan(name, superstep, node_id,
+                                              start_us, end_us,
+                                              static_cast<EngineMode>(mode));
+            });
+      }
 
       auto intern = [&](VertexId v) -> uint32_t {
         auto it = node.replica_idx.find(v);
@@ -197,6 +211,10 @@ class VPullPath : public MessagePath<P> {
 
   void BeginAccounting() override {
     for (auto& node : nodes_) {
+      if (node.pipeline) {
+        node.pipeline->SetContext(driver_->superstep(),
+                                  static_cast<int>(EngineMode::kVPull));
+      }
       node.updated = 0;
       node.responded = 0;
       node.msgs_produced = 0;
@@ -222,6 +240,17 @@ class VPullPath : public MessagePath<P> {
 
   Status AfterProduce(uint32_t i) override {
     return DrainApplyStaged(nodes_[i]);
+  }
+
+  Status WarmupNextSuperstep(uint32_t i) override {
+    GasNode& node = nodes_[i];
+    if (!node.pipeline || !node.pipeline->enabled()) return Status::OK();
+    // Next superstep's gather re-scans the (immutable) local edge blob;
+    // stage it now so the read overlaps the scatter drain. Skipped by the
+    // pipeline when the blob exceeds the prefetch byte budget.
+    node.pipeline->Schedule(EdgeKey(node.id),
+                            ReadOptions{.io_class = IoClass::kSeqRead});
+    return Status::OK();
   }
 
   SuperstepMetrics EndAccounting(EngineMode produce_mode,
@@ -266,6 +295,13 @@ class VPullPath : public MessagePath<P> {
       max_node_seconds = std::max(max_node_seconds, work_s + blocking_s);
       m.memory_highwater_bytes +=
           node.cache->size() * kValueRecord + node.mem_highwater;
+      if (node.pipeline) {
+        const ReadPipeline::Stats ps = node.pipeline->DrainStats();
+        m.prefetch_scheduled += ps.scheduled;
+        m.prefetch_hits += ps.hits;
+        m.prefetch_misses += ps.misses + ps.fallbacks;
+        m.prefetch_hit_bytes += ps.hit_bytes;
+      }
     }
     m.blocking_seconds = max_blocking;
     m.superstep_seconds = max_node_seconds;
@@ -299,6 +335,9 @@ class VPullPath : public MessagePath<P> {
   struct GasNode {
     NodeId id = 0;
     std::unique_ptr<StorageService> storage;
+    // Declared after `storage` so its destructor (which cancels and waits
+    // out background reads) runs while storage is still alive.
+    std::unique_ptr<ReadPipeline> pipeline;
 
     // Local edge set (on disk as one blob, scanned sequentially).
     uint64_t num_edges = 0;
@@ -361,12 +400,13 @@ class VPullPath : public MessagePath<P> {
     }
     node.cache->RecordMiss();
     node.cpu_seconds += driver_->config().vpull_miss_penalty_s;
-    std::vector<uint8_t> raw;
-    HG_RETURN_IF_ERROR(node.storage->ReadRange(VtabKey(node.id),
-                                               uint64_t{idx} * kValueRecord,
-                                               kValueRecord, &raw,
-                                               IoClass::kRandRead));
-    *out = PodCodec<Value>::Decode(raw.data());
+    HG_ASSIGN_OR_RETURN(
+        ReadResult rec,
+        node.storage->Read(VtabKey(node.id),
+                           {.offset = uint64_t{idx} * kValueRecord,
+                            .length = kValueRecord,
+                            .io_class = IoClass::kRandRead}));
+    *out = PodCodec<Value>::Decode(rec.data.data());
     node.cache->Put(idx, *out, /*dirty=*/false);
     return Status::OK();
   }
@@ -424,9 +464,12 @@ class VPullPath : public MessagePath<P> {
     // Per destination master node: grouped partial aggregates.
     std::vector<std::unordered_map<VertexId, std::vector<Message>>> partials(
         config.num_nodes);
-    std::vector<uint8_t> raw;
-    HG_RETURN_IF_ERROR(
-        node.storage->Read(EdgeKey(node.id), &raw, IoClass::kSeqRead));
+    const ReadOptions edge_opts{.io_class = IoClass::kSeqRead};
+    auto read = node.pipeline
+                    ? node.pipeline->Fetch(EdgeKey(node.id), edge_opts)
+                    : node.storage->Read(EdgeKey(node.id), edge_opts);
+    if (!read.ok()) return read.status();
+    const std::vector<uint8_t> raw = std::move(read->data);
     Decoder dec{Slice(raw)};
     Value src_value;
     while (!dec.AtEnd()) {

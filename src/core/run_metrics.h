@@ -60,6 +60,14 @@ struct SuperstepMetrics {
   double phase_update_wall_s = 0;   ///< Phase B update/produce sweep
   double phase_drain_wall_s = 0;    ///< post-produce drain (staged batches)
 
+  /// Prefetch-pipeline observability (cluster totals; measured, not modeled:
+  /// background reads are unmetered and metering happens at the consumption
+  /// point, so modeled I/O is bit-identical prefetch on/off).
+  uint64_t prefetch_scheduled = 0;  ///< background reads staged
+  uint64_t prefetch_hits = 0;       ///< consumption reads served staged
+  uint64_t prefetch_misses = 0;     ///< staged-miss + error fallbacks
+  uint64_t prefetch_hit_bytes = 0;  ///< bytes served from staged reads
+
   uint64_t memory_highwater_bytes = 0;
 
   /// Streaming spill-merge observability (push/hybrid only; zero elsewhere).

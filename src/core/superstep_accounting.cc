@@ -17,6 +17,10 @@ void BeginBlockAccounting(std::vector<NodeState>& nodes, Transport& transport) {
     node.spill_buffer_peak = 0;
     node.spill_resident_peak = 0;
     node.spill_combined = 0;
+    node.prefetch_scheduled = 0;
+    node.prefetch_hits = 0;
+    node.prefetch_misses = 0;
+    node.prefetch_hit_bytes = 0;
     node.io = IoBreakdown{};
     node.disk_snapshot = *node.storage->meter();
     node.net_snapshot = *transport.meter(node.id);
@@ -106,6 +110,20 @@ SuperstepMetrics AccumulateBlockMetrics(std::vector<NodeState>& nodes,
     m.spill_peak_resident =
         std::max(m.spill_peak_resident, node.spill_resident_peak);
     m.spill_combined += node.spill_combined;
+
+    // Drain the pipeline's since-last-drain counters (measured, not
+    // modeled — never feeds the modeled seconds or byte columns above).
+    if (node.pipeline) {
+      const ReadPipeline::Stats ps = node.pipeline->DrainStats();
+      node.prefetch_scheduled += ps.scheduled;
+      node.prefetch_hits += ps.hits;
+      node.prefetch_misses += ps.misses + ps.fallbacks;
+      node.prefetch_hit_bytes += ps.hit_bytes;
+    }
+    m.prefetch_scheduled += node.prefetch_scheduled;
+    m.prefetch_hits += node.prefetch_hits;
+    m.prefetch_misses += node.prefetch_misses;
+    m.prefetch_hit_bytes += node.prefetch_hit_bytes;
 
     uint64_t responding = 0;
     for (uint8_t r : node.responding_next) responding += r;

@@ -84,6 +84,9 @@ class SuperstepDriver {
           FailPointRegistry::Instance().ArmFromString(config_.failpoints));
     }
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    if (config_.io.prefetch_depth > 0) {
+      io_pool_ = std::make_unique<ThreadPool>(config_.io.prefetch_threads);
+    }
     total_edges_ = graph.num_edges();
     FoldCpuScale(&config_);
     ctx_.num_vertices = graph.num_vertices;
@@ -120,6 +123,11 @@ class SuperstepDriver {
 
     const EngineMode produce_mode = mode_;
     const bool switched = superstep_ > 0 && produce_mode != prev_produce_;
+    for (auto& node : nodes_) {
+      if (node.pipeline) {
+        node.pipeline->SetContext(superstep_, static_cast<int>(prev_produce_));
+      }
+    }
 
     // Phase A on all nodes, then Phase B on all nodes: BSP-consistent pulls.
     // Each phase fans out across the pool (one task per node) with a barrier
@@ -155,9 +163,18 @@ class SuperstepDriver {
       TraceSpan phase(&trace_, "drain", superstep_, -1, produce_mode);
       HG_RETURN_IF_ERROR(
           pool_->ParallelFor(config_.num_nodes, [&](uint32_t i) {
-            TraceSpan span(&trace_, "drain", superstep_, static_cast<int>(i),
-                           produce_mode);
-            return prod->AfterProduce(i);
+            {
+              TraceSpan span(&trace_, "drain", superstep_, static_cast<int>(i),
+                             produce_mode);
+              HG_RETURN_IF_ERROR(prod->AfterProduce(i));
+            }
+            // Compute/communication overlap: while the other nodes are still
+            // draining (and before the aggregator exchange below), schedule
+            // background readahead for the data the next superstep's consume
+            // phase will touch. Observability only — nothing modeled moves.
+            TraceSpan overlap(&trace_, "drain.overlap", superstep_,
+                              static_cast<int>(i), produce_mode);
+            return prod->WarmupNextSuperstep(i);
           }));
     }
     const auto t3 = std::chrono::steady_clock::now();
@@ -265,7 +282,7 @@ class SuperstepDriver {
     if constexpr (P::kCombinable) {
       hooks.pending_combiner = &ProgramOps<P>::CombineRaw;
       hooks.staging_combiner = &ProgramOps<P>::CombineRaw;
-      if (config_.spill_combining) {
+      if (config_.io.spill_combining) {
         hooks.spill_combiner = &ProgramOps<P>::CombineRaw;
       }
     }
@@ -280,6 +297,24 @@ class SuperstepDriver {
     initial_messages_ = census.initial_messages;
     initial_active_frac_ = static_cast<double>(census.initial_active_count) /
                            static_cast<double>(graph.num_vertices);
+
+    // Per-node readahead pipelines over the node's storage. Background reads
+    // are unmetered; metering happens at the consumption point, so modeled
+    // I/O stays bit-identical with prefetch on or off.
+    if (io_pool_ != nullptr) {
+      for (auto& node : nodes_) {
+        node.pipeline = std::make_unique<ReadPipeline>(
+            node.storage.get(), io_pool_.get(), config_.io.prefetch_depth,
+            config_.io.prefetch_budget_bytes);
+        node.pipeline->SetSpanSink(
+            [this, node_id = static_cast<int>(node.id)](
+                const char* name, int superstep, int mode, uint64_t start_us,
+                uint64_t end_us) {
+              trace_.AddSteadySpan(name, superstep, node_id, start_us, end_us,
+                                   static_cast<EngineMode>(mode));
+            });
+      }
+    }
 
     // RPC wiring. Handlers run in the SENDER's thread (or a transport server
     // thread) under the destination's dispatch lock, possibly while this
@@ -323,21 +358,46 @@ class SuperstepDriver {
     std::vector<uint8_t> values;
     std::vector<uint8_t> respond_in_vb;
 
+    // Precompute which Vblocks will be read this sweep, so the pipeline can
+    // stay one block ahead of the scan. Safe to hoist: the flags any_active
+    // reads (pending, active) are only mutated for vertices inside the same
+    // Vblock, after that block's own flag was computed.
+    std::vector<uint8_t> vb_active(last_vb - first_vb, 0);
     for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
       const VertexRange r = partition_.VblockRange(vb);
-      // Does any vertex in this block need an update?
-      bool any_active = false;
-      for (VertexId v = r.begin; v < r.end && !any_active; ++v) {
+      for (VertexId v = r.begin; v < r.end; ++v) {
         const uint32_t li = node.LocalIdx(v);
-        any_active = P::kAlwaysActive
-                         ? (superstep_ > 0 || node.active[li])
-                         : (node.pending.Has(li) || node.active[li]);
+        const bool a = P::kAlwaysActive
+                           ? (superstep_ > 0 || node.active[li])
+                           : (node.pending.Has(li) || node.active[li]);
+        if (a) {
+          vb_active[vb - first_vb] = 1;
+          break;
+        }
       }
+    }
+    auto prefetch_next_vblock = [&](uint32_t after_vb) {
+      if (!node.pipeline || !node.pipeline->enabled()) return;
+      for (uint32_t nvb = after_vb + 1; nvb < last_vb; ++nvb) {
+        if (vb_active[nvb - first_vb]) {
+          node.vstore->PrefetchBlock(nvb, node.pipeline.get(),
+                                     IoClass::kSeqRead);
+          return;
+        }
+      }
+    };
+
+    for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
+      const VertexRange r = partition_.VblockRange(vb);
+      const bool any_active = vb_active[vb - first_vb] != 0;
       respond_in_vb.assign(r.size(), 0);
       if (any_active) {
+        // Stage the following active Vblock before consuming this one, so
+        // its read overlaps this block's update work.
+        prefetch_next_vblock(vb);
         // IO(V^t): scan + write back the Vblock.
-        HG_RETURN_IF_ERROR(
-            node.vstore->ReadBlock(vb, &values, IoClass::kSeqRead));
+        HG_RETURN_IF_ERROR(node.vstore->ReadBlock(
+            vb, &values, IoClass::kSeqRead, node.pipeline.get()));
         node.io.vt_bytes += node.vstore->BlockBytes(vb);
         bool block_dirty = false;
 
@@ -425,6 +485,13 @@ class SuperstepDriver {
 
   Status RestoreCheckpoint(Slice data) {
     if (!loaded_) return Status::FailedPrecondition("Load() first");
+    // In-flight readahead was issued against pre-restore state; cancel it
+    // all before the restore rewrites blocks, so nothing stale survives.
+    // (Writes during the restore also invalidate matching staged reads via
+    // the storage mutation observer — this is the belt to that suspender.)
+    for (auto& node : nodes_) {
+      if (node.pipeline) node.pipeline->CancelAll();
+    }
     return RestoreEngineCheckpoint(nodes_, partition_, config_,
                                    MakeCheckpointState(), kMsgSize, data,
                                    &stats_.supersteps_run);
@@ -445,6 +512,9 @@ class SuperstepDriver {
 
   Transport& transport() { return *transport_; }
   void set_transport(std::unique_ptr<Transport> t) { transport_ = std::move(t); }
+  /// Shared background-read pool; null when prefetch is disabled. Paths that
+  /// own their storage (vpull) build their ReadPipelines on it.
+  ThreadPool* io_pool() { return io_pool_.get(); }
   std::vector<NodeState>& nodes() { return nodes_; }
   SuperstepContext& ctx() { return ctx_; }
   double pull_gen_aggregate() const { return pull_gen_aggregate_; }
@@ -471,6 +541,13 @@ class SuperstepDriver {
   RangePartition partition_;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Dedicated pool for background prefetch reads (null when prefetch is
+  /// off). Separate from pool_ because ThreadPool is a single FIFO queue: a
+  /// compute task waiting on a queued prefetch task would deadlock at
+  /// num_threads=1. Declared before nodes_ so it outlives the per-node
+  /// ReadPipelines (reverse destruction order), which wait out their
+  /// in-flight reads in their destructors.
+  std::unique_ptr<ThreadPool> io_pool_;
   std::vector<NodeState> nodes_;
   SuperstepContext ctx_;
   TraceCollector trace_;

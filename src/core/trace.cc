@@ -34,6 +34,16 @@ void TraceCollector::AddSpan(const char* name, int superstep, int node,
                           end_us >= start_us ? end_us - start_us : 0, mode});
 }
 
+void TraceCollector::AddSteadySpan(const char* name, int superstep, int node,
+                                   uint64_t steady_start_us,
+                                   uint64_t steady_end_us, EngineMode mode) {
+  if (!enabled_) return;
+  const uint64_t origin_us = static_cast<uint64_t>(origin_ns_ / 1000);
+  const uint64_t s = steady_start_us > origin_us ? steady_start_us - origin_us : 0;
+  const uint64_t e = steady_end_us > origin_us ? steady_end_us - origin_us : 0;
+  AddSpan(name, superstep, node, s, e, mode);
+}
+
 size_t TraceCollector::num_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();

@@ -33,6 +33,13 @@ class TraceCollector {
   void AddSpan(const char* name, int superstep, int node, uint64_t start_us,
                uint64_t end_us, EngineMode mode);
 
+  /// Like AddSpan, but with absolute steady-clock microsecond timestamps (as
+  /// produced by AsyncReadHandle on a background I/O thread); converted to
+  /// collector-origin time so prefetch spans line up with phase spans.
+  void AddSteadySpan(const char* name, int superstep, int node,
+                     uint64_t steady_start_us, uint64_t steady_end_us,
+                     EngineMode mode);
+
   /// Writes {"traceEvents": [...]} to `path`, loadable by chrome://tracing
   /// and Perfetto.
   Status WriteJson(const std::string& path) const;

@@ -65,10 +65,13 @@ Result<std::unique_ptr<AdjacencyStore>> AdjacencyStore::Build(
 }
 
 Status AdjacencyStore::ReadBlock(uint32_t global_vb,
-                                 std::vector<VertexAdj>* out) {
-  std::vector<uint8_t> raw;
-  HG_RETURN_IF_ERROR(
-      storage_->Read(BlockKey(global_vb), &raw, IoClass::kSeqRead));
+                                 std::vector<VertexAdj>* out,
+                                 ReadPipeline* pipeline) {
+  const std::string key = BlockKey(global_vb);
+  const ReadOptions opts{.io_class = IoClass::kSeqRead};
+  auto read = pipeline ? pipeline->Fetch(key, opts) : storage_->Read(key, opts);
+  if (!read.ok()) return read.status();
+  const std::vector<uint8_t>& raw = read->data;
   const VertexRange r = partition_->VblockRange(global_vb);
   Decoder dec{Slice(raw)};
   out->clear();
@@ -87,6 +90,12 @@ Status AdjacencyStore::ReadBlock(uint32_t global_vb,
   }
   if (!dec.AtEnd()) return Status::Corruption("trailing bytes in adjacency block");
   return Status::OK();
+}
+
+void AdjacencyStore::PrefetchBlock(uint32_t global_vb, ReadPipeline* pipeline) {
+  if (pipeline == nullptr) return;
+  pipeline->Schedule(BlockKey(global_vb),
+                     ReadOptions{.io_class = IoClass::kSeqRead});
 }
 
 uint64_t AdjacencyStore::BlockBytes(uint32_t global_vb) const {

@@ -13,6 +13,7 @@
 
 #include "graph/partition.h"
 #include "graph/types.h"
+#include "io/prefetch.h"
 #include "io/storage.h"
 
 namespace hybridgraph {
@@ -32,8 +33,14 @@ class AdjacencyStore {
       const std::vector<RawEdge>& local_edges);
 
   /// Sequentially scans one adjacency block (metered kSeqRead). Vertices with
-  /// no out-edges still appear with an empty list.
-  Status ReadBlock(uint32_t global_vb, std::vector<VertexAdj>* out);
+  /// no out-edges still appear with an empty list. A non-null `pipeline`
+  /// serves the read through the prefetcher.
+  Status ReadBlock(uint32_t global_vb, std::vector<VertexAdj>* out,
+                   ReadPipeline* pipeline = nullptr);
+
+  /// Stages a background read of a block for a later ReadBlock. No-op on a
+  /// null/disabled pipeline.
+  void PrefetchBlock(uint32_t global_vb, ReadPipeline* pipeline);
 
   /// Serialized size of one block.
   uint64_t BlockBytes(uint32_t global_vb) const;

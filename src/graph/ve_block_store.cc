@@ -93,16 +93,18 @@ Result<std::unique_ptr<VeBlockStore>> VeBlockStore::Build(
 }
 
 Status VeBlockStore::ScanEblock(uint32_t src_vb, uint32_t dst_vb,
-                                ScanResult* out) {
+                                ScanResult* out, ReadPipeline* pipeline) {
   out->fragments.clear();
   out->aux_bytes = 0;
   out->edge_bytes = 0;
   const EblockIndex& idx = Index(src_vb, dst_vb);
   if (idx.num_fragments == 0) return Status::OK();
 
-  std::vector<uint8_t> raw;
-  HG_RETURN_IF_ERROR(
-      storage_->Read(EblockKey(src_vb, dst_vb), &raw, IoClass::kSeqRead));
+  const std::string key = EblockKey(src_vb, dst_vb);
+  const ReadOptions opts{.io_class = IoClass::kSeqRead};
+  auto read = pipeline ? pipeline->Fetch(key, opts) : storage_->Read(key, opts);
+  if (!read.ok()) return read.status();
+  const std::vector<uint8_t>& raw = read->data;
   Decoder dec{Slice(raw)};
   uint64_t num_fragments;
   HG_RETURN_IF_ERROR(dec.GetVarint64(&num_fragments));
@@ -123,6 +125,14 @@ Status VeBlockStore::ScanEblock(uint32_t src_vb, uint32_t dst_vb,
   out->aux_bytes = idx.aux_bytes;
   out->edge_bytes = idx.edge_bytes;
   return Status::OK();
+}
+
+void VeBlockStore::PrefetchEblock(uint32_t src_vb, uint32_t dst_vb,
+                                  ReadPipeline* pipeline) {
+  if (pipeline == nullptr) return;
+  if (Index(src_vb, dst_vb).num_fragments == 0) return;
+  pipeline->Schedule(EblockKey(src_vb, dst_vb),
+                     ReadOptions{.io_class = IoClass::kSeqRead});
 }
 
 }  // namespace hybridgraph

@@ -16,6 +16,7 @@
 
 #include "graph/partition.h"
 #include "graph/types.h"
+#include "io/prefetch.h"
 #include "io/storage.h"
 
 namespace hybridgraph {
@@ -70,7 +71,13 @@ class VeBlockStore {
   /// Sequentially scans Eblock g_{src_vb, dst_vb} (metered kSeqRead; the
   /// whole block is read — the paper notes useless edges in a block are
   /// still scanned). Returns NotFound-free empty result for empty Eblocks.
-  Status ScanEblock(uint32_t src_vb, uint32_t dst_vb, ScanResult* out);
+  /// A non-null `pipeline` serves the read through the prefetcher.
+  Status ScanEblock(uint32_t src_vb, uint32_t dst_vb, ScanResult* out,
+                    ReadPipeline* pipeline = nullptr);
+
+  /// Stages a background read of Eblock g_{src_vb, dst_vb} for a later
+  /// ScanEblock. No-op on a null/disabled pipeline or an empty Eblock.
+  void PrefetchEblock(uint32_t src_vb, uint32_t dst_vb, ReadPipeline* pipeline);
 
   const VblockMeta& Meta(uint32_t global_vb) const {
     return metas_[LocalVb(global_vb)];

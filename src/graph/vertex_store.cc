@@ -55,9 +55,13 @@ Result<std::unique_ptr<VertexValueStore>> VertexValueStore::Build(
 }
 
 Status VertexValueStore::ReadBlock(uint32_t global_vb,
-                                   std::vector<uint8_t>* values, IoClass cls) {
-  std::vector<uint8_t> raw;
-  HG_RETURN_IF_ERROR(storage_->Read(BlockKey(global_vb), &raw, cls));
+                                   std::vector<uint8_t>* values, IoClass cls,
+                                   ReadPipeline* pipeline) {
+  const std::string key = BlockKey(global_vb);
+  const ReadOptions opts{.io_class = cls};
+  auto read = pipeline ? pipeline->Fetch(key, opts) : storage_->Read(key, opts);
+  if (!read.ok()) return read.status();
+  const std::vector<uint8_t>& raw = read->data;
   const VertexRange r = partition_->VblockRange(global_vb);
   const size_t rec = record_size();
   if (raw.size() != static_cast<size_t>(r.size()) * rec) {
@@ -90,6 +94,12 @@ Status VertexValueStore::WriteBlock(uint32_t global_vb,
   return storage_->Write(BlockKey(global_vb), buf.AsSlice(), cls);
 }
 
+void VertexValueStore::PrefetchBlock(uint32_t global_vb, ReadPipeline* pipeline,
+                                     IoClass cls) {
+  if (pipeline == nullptr) return;
+  pipeline->Schedule(BlockKey(global_vb), ReadOptions{.io_class = cls});
+}
+
 Status VertexValueStore::ReadValueRandom(VertexId v, std::vector<uint8_t>* value) {
   const uint32_t vb = partition_->VblockOf(v);
   if (partition_->NodeOfVblock(vb) != node_) {
@@ -98,10 +108,12 @@ Status VertexValueStore::ReadValueRandom(VertexId v, std::vector<uint8_t>* value
   const VertexRange r = partition_->VblockRange(vb);
   const uint64_t offset =
       static_cast<uint64_t>(v - r.begin) * record_size();
-  std::vector<uint8_t> raw;
-  HG_RETURN_IF_ERROR(storage_->ReadRange(BlockKey(vb), offset, record_size(), &raw,
-                                         IoClass::kRandRead));
-  value->assign(raw.begin() + 8, raw.end());
+  HG_ASSIGN_OR_RETURN(
+      ReadResult rec,
+      storage_->Read(BlockKey(vb), {.offset = offset,
+                                    .length = record_size(),
+                                    .io_class = IoClass::kRandRead}));
+  value->assign(rec.data.begin() + 8, rec.data.end());
   return Status::OK();
 }
 

@@ -14,6 +14,7 @@
 
 #include "graph/partition.h"
 #include "graph/types.h"
+#include "io/prefetch.h"
 #include "io/storage.h"
 
 namespace hybridgraph {
@@ -37,8 +38,15 @@ class VertexValueStore {
   size_t record_size() const { return 8 + value_size_; }
 
   /// Reads all value payloads of a Vblock into `*values`, concatenated in
-  /// vertex order (size = count * value_size). Metered with `cls`.
-  Status ReadBlock(uint32_t global_vb, std::vector<uint8_t>* values, IoClass cls);
+  /// vertex order (size = count * value_size). Metered with `cls`. A non-null
+  /// `pipeline` serves the read through the prefetcher (staged bytes if
+  /// PrefetchBlock ran, sync read otherwise — metering is identical).
+  Status ReadBlock(uint32_t global_vb, std::vector<uint8_t>* values, IoClass cls,
+                   ReadPipeline* pipeline = nullptr);
+
+  /// Stages a background read of a Vblock for a later ReadBlock. No-op on a
+  /// null/disabled pipeline.
+  void PrefetchBlock(uint32_t global_vb, ReadPipeline* pipeline, IoClass cls);
 
   /// Writes back all value payloads of a Vblock. Metered with `cls`.
   Status WriteBlock(uint32_t global_vb, const std::vector<uint8_t>& values,

@@ -84,8 +84,10 @@ Status MessageSpill::SpillRun(std::vector<SpillEntry> entries) {
 
 MessageSpill::MergeIterator::MergeIterator(StorageService* storage,
                                            const MessageSpill* spill,
-                                           uint64_t buffer_bytes_per_run)
+                                           uint64_t buffer_bytes_per_run,
+                                           ReadPipeline* pipeline)
     : storage_(storage),
+      pipeline_(pipeline),
       payload_size_(spill->payload_size_),
       record_size_(4 + spill->payload_size_),
       combiner_(spill->combiner_) {
@@ -110,13 +112,15 @@ Status MessageSpill::MergeIterator::Open() {
           "spill run %s truncated: %llu bytes, header needs %zu", rc.key.c_str(),
           static_cast<unsigned long long>(rc.file_size), kRunHeaderBytes));
     }
-    std::vector<uint8_t> header;
-    HG_RETURN_IF_ERROR(storage_->ReadAt(rc.key, 0, kRunHeaderBytes, &header,
-                                        IoClass::kSeqRead));
-    if (header.size() != kRunHeaderBytes) {
+    HG_ASSIGN_OR_RETURN(
+        ReadResult header,
+        storage_->Read(rc.key, {.length = kRunHeaderBytes,
+                                .allow_short = true,
+                                .io_class = IoClass::kSeqRead}));
+    if (header.data.size() != kRunHeaderBytes) {
       return Status::Corruption("spill run header short read: " + rc.key);
     }
-    Decoder dec{Slice(header.data(), header.size())};
+    Decoder dec{Slice(header.data.data(), header.data.size())};
     HG_RETURN_IF_ERROR(dec.GetFixed64(&rc.disk_entries));
     // Shape check BEFORE decoding anything: the blob must hold exactly
     // entry_count records. A bit-flipped count or a truncated blob fails
@@ -142,8 +146,14 @@ Status MessageSpill::MergeIterator::Refill(RunCursor* rc) {
   HG_FAIL_POINT("spill.merge");
   const uint64_t want =
       std::min<uint64_t>(chunk_bytes_, rc->disk_entries * record_size_);
-  HG_RETURN_IF_ERROR(
-      storage_->ReadAt(rc->key, rc->file_pos, want, &rc->buf, IoClass::kSeqRead));
+  const ReadOptions opts{.offset = rc->file_pos,
+                         .length = want,
+                         .allow_short = true,
+                         .io_class = IoClass::kSeqRead};
+  auto read =
+      pipeline_ ? pipeline_->Fetch(rc->key, opts) : storage_->Read(rc->key, opts);
+  if (!read.ok()) return read.status();
+  rc->buf = std::move(read->data);
   if (rc->buf.size() != want) {
     return Status::Corruption("spill run shrank mid-merge: " + rc->key);
   }
@@ -155,7 +165,20 @@ Status MessageSpill::MergeIterator::Refill(RunCursor* rc) {
   rc->has_head = true;
   resident_entries_ += loaded;
   peak_resident_entries_ = std::max(peak_resident_entries_, resident_entries_ + 1);
+  ScheduleNextChunk(*rc);
   return Status::OK();
+}
+
+void MessageSpill::MergeIterator::ScheduleNextChunk(const RunCursor& rc) {
+  if (pipeline_ == nullptr || rc.disk_entries == 0) return;
+  // Exactly the shape the next Refill will request, so the staged entry
+  // matches on (key, offset, length).
+  const uint64_t want =
+      std::min<uint64_t>(chunk_bytes_, rc.disk_entries * record_size_);
+  pipeline_->Schedule(rc.key, {.offset = rc.file_pos,
+                               .length = want,
+                               .allow_short = true,
+                               .io_class = IoClass::kSeqRead});
 }
 
 Status MessageSpill::MergeIterator::ConsumeHead(size_t ri) {
@@ -215,11 +238,35 @@ Status MessageSpill::MergeIterator::Next() {
 }
 
 Result<std::unique_ptr<MessageSpill::MergeIterator>>
-MessageSpill::NewMergeIterator(uint64_t buffer_bytes_per_run) {
+MessageSpill::NewMergeIterator(uint64_t buffer_bytes_per_run,
+                               ReadPipeline* pipeline) {
   std::unique_ptr<MergeIterator> it(
-      new MergeIterator(storage_, this, buffer_bytes_per_run));
+      new MergeIterator(storage_, this, buffer_bytes_per_run, pipeline));
   HG_RETURN_IF_ERROR(it->Open());
   return it;
+}
+
+void MessageSpill::WarmupMerge(uint64_t buffer_bytes_per_run,
+                               ReadPipeline* pipeline) const {
+  if (pipeline == nullptr || !pipeline->enabled() || num_runs_ == 0) return;
+  const size_t record_size = 4 + payload_size_;
+  const uint64_t per_chunk =
+      std::max<uint64_t>(1, buffer_bytes_per_run / record_size);
+  const uint64_t chunk_bytes = per_chunk * record_size;
+  for (size_t i = 0; i < num_runs_; ++i) {
+    const std::string key = RunKey(i);
+    const uint64_t size = storage_->SizeOf(key);
+    if (size <= kRunHeaderBytes) continue;
+    // For a well-formed run, body bytes == disk_entries × record_size, so
+    // this equals the first Refill's `want` and the staged entry matches on
+    // (key, offset, length). A malformed run just never gets claimed.
+    const uint64_t want =
+        std::min<uint64_t>(chunk_bytes, size - kRunHeaderBytes);
+    pipeline->Schedule(key, {.offset = kRunHeaderBytes,
+                             .length = want,
+                             .allow_short = true,
+                             .io_class = IoClass::kSeqRead});
+  }
 }
 
 Status MessageSpill::MergeReadAll(std::vector<SpillEntry>* out) {

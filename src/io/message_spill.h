@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "io/prefetch.h"
 #include "io/storage.h"
 #include "util/codec.h"
 #include "util/status.h"
@@ -51,7 +52,8 @@ class MessageSpill {
   using CombineFn = void (*)(uint8_t* acc, const uint8_t* other);
 
   /// Per-run merge buffer used when no explicit size is given
-  /// (JobConfig::spill_merge_buffer_bytes is the engine-facing knob).
+  /// (JobConfig::IoConfig::spill_merge_buffer_bytes is the engine-facing
+  /// knob).
   static constexpr uint64_t kDefaultMergeBufferBytes = 64 * 1024;
 
   /// \param storage metered storage of the owning node.
@@ -126,9 +128,13 @@ class MessageSpill {
     };
 
     MergeIterator(StorageService* storage, const MessageSpill* spill,
-                  uint64_t buffer_bytes_per_run);
+                  uint64_t buffer_bytes_per_run, ReadPipeline* pipeline);
     Status Open();
     Status Refill(RunCursor* rc);
+    /// Stages the run's next chunk on the pipeline (no-op without one), so
+    /// the chunk after the one just loaded reads in the background while the
+    /// merge consumes the current one — per-run double buffering.
+    void ScheduleNextChunk(const RunCursor& rc);
     /// Consumes the head record of run `ri` (refilling as needed) and
     /// re-inserts the run's next head into the heap.
     Status ConsumeHead(size_t ri);
@@ -136,6 +142,7 @@ class MessageSpill {
     Status PrimeNext();
 
     StorageService* storage_;
+    ReadPipeline* pipeline_;  ///< null = all reads synchronous
     size_t payload_size_;
     size_t record_size_;
     CombineFn combiner_;
@@ -162,9 +169,18 @@ class MessageSpill {
   /// Opens a streaming merge over all runs written so far. Every run is
   /// shape-validated up front (header count vs. blob size), so a truncated
   /// or bit-flipped run surfaces as Status::Corruption here or from Next(),
-  /// never as an out-of-bounds read.
+  /// never as an out-of-bounds read. A non-null `pipeline` double-buffers
+  /// each run's next chunk in the background (modeled read bytes are
+  /// unchanged — see ReadPipeline).
   Result<std::unique_ptr<MergeIterator>> NewMergeIterator(
-      uint64_t buffer_bytes_per_run);
+      uint64_t buffer_bytes_per_run, ReadPipeline* pipeline = nullptr);
+
+  /// Stages every run's FIRST merge chunk on `pipeline` (no-op without one),
+  /// shaped exactly like the opening Refill of a NewMergeIterator created
+  /// with the same per-run buffer — the drain-overlap warmup called one
+  /// superstep before the merge. Safe to call speculatively: unclaimed
+  /// chunks are dropped on eviction, Clear() or pipeline shutdown.
+  void WarmupMerge(uint64_t buffer_bytes_per_run, ReadPipeline* pipeline) const;
 
   /// Convenience wrapper: streams the merge (bounded buffers) and appends
   /// every entry, grouped by ascending destination, to `*out`. Output is

@@ -1,0 +1,172 @@
+#include "io/prefetch.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace hybridgraph {
+
+ReadPipeline::ReadPipeline(StorageService* storage, ThreadPool* io_pool,
+                           uint32_t depth, uint64_t budget_bytes)
+    : storage_(storage),
+      io_pool_(io_pool),
+      depth_(depth),
+      budget_bytes_(budget_bytes) {
+  if (enabled()) {
+    storage_->SetMutationObserver(
+        [this](const std::string& key) { OnMutation(key); });
+  }
+}
+
+ReadPipeline::~ReadPipeline() {
+  if (enabled()) storage_->SetMutationObserver(nullptr);
+  // Cancel everything, then wait each handle out: ThreadPool drains its queue
+  // on destruction, so every submitted task runs (or short-circuits on the
+  // cancelled flag) and Take() terminates. After this loop no background
+  // task can touch storage_.
+  std::vector<std::shared_ptr<AsyncReadHandle>> handles;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& e : entries_) {
+      e.handle->Cancel();
+      handles.push_back(e.handle);
+    }
+    entries_.clear();
+    staged_bytes_ = 0;
+  }
+  for (auto& h : handles) (void)h->Take();
+}
+
+void ReadPipeline::SetContext(int superstep, int mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  superstep_ = superstep;
+  mode_ = mode;
+}
+
+void ReadPipeline::SetSpanSink(SpanSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+std::list<ReadPipeline::Entry>::iterator ReadPipeline::DropEntry(
+    std::list<Entry>::iterator it) {
+  it->handle->Cancel();
+  staged_bytes_ -= it->bytes_estimate;
+  return entries_.erase(it);
+}
+
+void ReadPipeline::OnMutation(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->key == key) {
+      it = DropEntry(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReadPipeline::Schedule(const std::string& key, ReadOptions opts) {
+  if (!enabled()) return;
+  // Size the read BEFORE taking the pipeline lock: SizeOf takes the storage
+  // lock, and storage-lock-then-pipeline-lock is the observer's order — the
+  // reverse would be an ABBA deadlock.
+  const uint64_t size = storage_->SizeOf(key);
+  uint64_t estimate;
+  if (opts.length == kReadAll) {
+    estimate = opts.offset >= size ? 0 : size - opts.offset;
+  } else {
+    estimate = opts.offset >= size ? 0
+                                   : std::min(opts.length, size - opts.offset);
+  }
+  if (estimate == 0 || estimate > budget_bytes_) return;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e.key == key && e.opts.offset == opts.offset) return;  // already staged
+  }
+  while (!entries_.empty() && (entries_.size() >= depth_ ||
+                               staged_bytes_ + estimate > budget_bytes_)) {
+    DropEntry(entries_.begin());
+  }
+  Entry entry;
+  entry.key = key;
+  entry.opts = opts;
+  entry.bytes_estimate = estimate;
+  // ReadAsync takes no storage lock synchronously, so issuing it under the
+  // pipeline lock is safe.
+  entry.handle = storage_->ReadAsync(key, opts, io_pool_);
+  staged_bytes_ += estimate;
+  entries_.push_back(std::move(entry));
+  ++stats_.scheduled;
+}
+
+Result<ReadResult> ReadPipeline::Fetch(const std::string& key,
+                                       const ReadOptions& opts) {
+  if (!enabled()) return storage_->Read(key, opts);
+
+  std::shared_ptr<AsyncReadHandle> handle;
+  SpanSink sink;
+  int superstep = 0;
+  int mode = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->key != key || it->opts.offset != opts.offset) continue;
+      if (it->opts.length == opts.length &&
+          it->opts.allow_short == opts.allow_short) {
+        handle = it->handle;
+        staged_bytes_ -= it->bytes_estimate;
+        entries_.erase(it);
+      } else {
+        // Staged with a different shape: useless, drop it and read sync.
+        DropEntry(it);
+      }
+      break;
+    }
+    sink = sink_;
+    superstep = superstep_;
+    mode = mode_;
+    if (!handle) ++stats_.misses;
+  }
+  if (!handle) return storage_->Read(key, opts);
+
+  Result<ReadResult> staged = handle->Take();
+  if (staged.ok()) {
+    ReadResult res = std::move(staged).ValueOrDie();
+    // Charge the model now, at the consumption point — same bytes, same
+    // order, same LRU effect as the synchronous read would have had.
+    res.cache_hit = storage_->FinishStagedRead(key, res.blob_size,
+                                               res.data.size(), opts.io_class);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      stats_.hit_bytes += res.data.size();
+    }
+    if (sink) {
+      sink("io.prefetch", superstep, mode, handle->start_us(),
+           handle->end_us());
+    }
+    return res;
+  }
+  if (IsInjectedCrash(staged.status())) return staged.status();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.fallbacks;
+  }
+  return storage_->Read(key, opts);
+}
+
+void ReadPipeline::CancelAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) it = DropEntry(it);
+}
+
+ReadPipeline::Stats ReadPipeline::DrainStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  stats_ = Stats{};
+  return out;
+}
+
+}  // namespace hybridgraph

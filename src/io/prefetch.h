@@ -1,0 +1,120 @@
+// ReadPipeline: bounded background readahead over one StorageService.
+//
+// A consumer that knows which blob (or which chunk of a blob) it will need
+// next calls Schedule() to stage the bytes on a dedicated I/O thread pool,
+// then later calls Fetch() at the point where it would have issued the
+// synchronous read. Fetch() returns the staged bytes if they are still valid,
+// or silently falls back to a synchronous storage read.
+//
+// Determinism contract: the background read is unmetered and page-cache
+// neutral (see StorageService::ReadAsync); Fetch() charges the model via
+// FinishStagedRead at the original consumption point, in consumption order.
+// Modeled I/O bytes and LRU cache evolution are therefore bit-identical with
+// prefetch on or off, at any thread count. The pipeline's own counters
+// (scheduled/hits/misses/...) and the io.prefetch trace spans are
+// observability only — like wall-clock columns, they are measured, not
+// modeled, and are excluded from the determinism guarantee.
+//
+// Staleness: the pipeline registers itself as the storage mutation observer;
+// any Write/Append/WriteRange/Delete of a staged key drops (cancels) the
+// staged entry, so Fetch never returns pre-mutation bytes.
+//
+// Locking: the storage lock may be held when the pipeline lock is taken (the
+// mutation-observer path). The pipeline therefore NEVER acquires the storage
+// lock while holding its own — Schedule sizes the blob before locking, and
+// Fetch pops the staged entry first, then waits/meters/falls back unlocked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "io/storage.h"
+
+namespace hybridgraph {
+
+class ReadPipeline {
+ public:
+  /// Observability sink for io.prefetch spans: (name, superstep, mode,
+  /// start_us, end_us) with steady-clock-absolute microsecond timestamps
+  /// (the driver converts to trace-collector time).
+  using SpanSink = std::function<void(const char* name, int superstep,
+                                      int mode, uint64_t start_us,
+                                      uint64_t end_us)>;
+
+  /// Counters since the last DrainStats(). Observability only.
+  struct Stats {
+    uint64_t scheduled = 0;   ///< Schedule() calls that staged a read
+    uint64_t hits = 0;        ///< Fetch() served from a staged read
+    uint64_t misses = 0;      ///< Fetch() with nothing staged (sync read)
+    uint64_t fallbacks = 0;   ///< staged read failed; sync read retried
+    uint64_t hit_bytes = 0;   ///< bytes served from staged reads
+  };
+
+  /// `depth` = max staged entries, `budget_bytes` = max staged bytes; both
+  /// bound memory held by not-yet-consumed readahead. `io_pool` must outlive
+  /// the pipeline. Registers as `storage`'s mutation observer.
+  ReadPipeline(StorageService* storage, ThreadPool* io_pool, uint32_t depth,
+               uint64_t budget_bytes);
+  /// Unregisters the observer, cancels all staged reads, and waits for any
+  /// in-flight background task — after this, no task references storage.
+  ~ReadPipeline();
+
+  ReadPipeline(const ReadPipeline&) = delete;
+  ReadPipeline& operator=(const ReadPipeline&) = delete;
+
+  bool enabled() const { return io_pool_ != nullptr && depth_ > 0; }
+
+  /// Tags subsequently emitted spans/counters with the current superstep and
+  /// engine mode (mode as int to keep this layer core-agnostic).
+  void SetContext(int superstep, int mode);
+  void SetSpanSink(SpanSink sink);
+
+  /// Stages a background read of `key` with `opts`. No-op when disabled,
+  /// when (key, offset) is already staged, or when the read alone exceeds
+  /// the byte budget. Evicts (cancels) oldest entries to fit depth/budget.
+  void Schedule(const std::string& key, ReadOptions opts);
+
+  /// Serves a read at its consumption point: a staged entry matching
+  /// (key, offset, length) is awaited and charged via FinishStagedRead;
+  /// otherwise this is a plain synchronous storage read. Errors from the
+  /// staged read fall back to a sync read, except injected crashes, which
+  /// propagate (fault-injection tests rely on the crash surfacing).
+  Result<ReadResult> Fetch(const std::string& key, const ReadOptions& opts);
+
+  /// Cancels and drops every staged entry (checkpoint restore, spill Clear).
+  void CancelAll();
+
+  /// Returns the counters accumulated since the last call and resets them.
+  Stats DrainStats();
+
+ private:
+  struct Entry {
+    std::string key;
+    ReadOptions opts;
+    uint64_t bytes_estimate = 0;
+    std::shared_ptr<AsyncReadHandle> handle;
+  };
+
+  void OnMutation(const std::string& key);
+  /// Removes *it (lock held), cancelling its handle.
+  std::list<Entry>::iterator DropEntry(std::list<Entry>::iterator it);
+
+  StorageService* storage_;
+  ThreadPool* io_pool_;
+  uint32_t depth_;
+  uint64_t budget_bytes_;
+
+  std::mutex mutex_;
+  std::list<Entry> entries_;  // FIFO: front = oldest staged read
+  uint64_t staged_bytes_ = 0;
+  int superstep_ = 0;
+  int mode_ = 0;
+  SpanSink sink_;
+  Stats stats_;
+};
+
+}  // namespace hybridgraph

@@ -1,15 +1,55 @@
 #include "io/storage.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hybridgraph {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- AsyncReadHandle
+
+bool AsyncReadHandle::Poll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+Result<ReadResult> AsyncReadHandle::Take() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return std::move(result_);
+}
+
+void AsyncReadHandle::Cancel() {
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void AsyncReadHandle::Complete(Result<ReadResult> r, uint64_t start_us,
+                               uint64_t end_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  result_ = std::move(r);
+  start_us_ = start_us;
+  end_us_ = end_us;
+  done_ = true;
+  cv_.notify_all();
+}
 
 // ----------------------------------------------------- page cache (in base)
 
@@ -58,28 +98,89 @@ void StorageService::DropFromCache(const std::string& key) {
   cache_map_.erase(it);
 }
 
-Status StorageService::ReadAt(const std::string& key, uint64_t offset,
-                              uint64_t len, std::vector<uint8_t>* out,
-                              IoClass cls) {
-  // The mutex is recursive, so holding it across SizeOf + ReadRange makes
-  // the clamp atomic with the read even under concurrent writers.
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  const uint64_t size = SizeOf(key);
-  if (offset >= size) {
-    if (!Exists(key)) return Status::NotFound("no blob: " + key);
-    out->clear();
-    return Status::OK();
-  }
-  return ReadRange(key, offset, std::min(len, size - offset), out, cls);
+void StorageService::NotifyMutation(const std::string& key) {
+  if (mutation_observer_) mutation_observer_(key);
 }
 
-void StorageService::MeterRead(const std::string& key, uint64_t blob_size,
+void StorageService::SetMutationObserver(
+    std::function<void(const std::string&)> observer) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  mutation_observer_ = std::move(observer);
+}
+
+// ------------------------------------------------------------- read surface
+
+Result<ReadResult> StorageService::ReadImpl(const std::string& key,
+                                            const ReadOptions& opts) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (!Exists(key)) return Status::NotFound("no blob: " + key);
+  const uint64_t size = SizeOf(key);
+  uint64_t len;
+  if (opts.length == kReadAll) {
+    len = opts.offset >= size ? 0 : size - opts.offset;
+  } else if (opts.offset > size || opts.length > size - opts.offset) {
+    if (!opts.allow_short) {
+      return Status::OutOfRange(StringFormat(
+          "read [%llu,%llu) past blob size %llu of %s",
+          static_cast<unsigned long long>(opts.offset),
+          static_cast<unsigned long long>(opts.offset + opts.length),
+          static_cast<unsigned long long>(size), key.c_str()));
+    }
+    len = opts.offset >= size ? 0 : size - opts.offset;
+  } else {
+    len = opts.length;
+  }
+  ReadResult res;
+  res.blob_size = size;
+  HG_RETURN_IF_ERROR(ReadRawLocked(key, opts.offset, len, &res.data));
+  if (opts.metering) res.cache_hit = MeterRead(key, size, len, opts.io_class);
+  return res;
+}
+
+Result<ReadResult> StorageService::Read(const std::string& key,
+                                        const ReadOptions& opts) {
+  // Fail-point first, before the storage lock: an injected delay stalls this
+  // reader only, never serializing concurrent readers behind the lock.
+  HG_FAIL_POINT("storage.read");
+  return ReadImpl(key, opts);
+}
+
+std::shared_ptr<AsyncReadHandle> StorageService::ReadAsync(
+    const std::string& key, ReadOptions opts, ThreadPool* pool) {
+  auto handle = std::make_shared<AsyncReadHandle>();
+  // The background stage only moves bytes; metering and cache updates happen
+  // at the consumption point (FinishStagedRead) in consumption order.
+  opts.metering = false;
+  pool->Submit([this, handle, key, opts] {
+    const uint64_t start = SteadyNowUs();
+    Result<ReadResult> r = [&]() -> Result<ReadResult> {
+      if (handle->cancelled()) {
+        return Status::FailedPrecondition("async read cancelled: " + key);
+      }
+      HG_FAIL_POINT("io.prefetch");
+      HG_FAIL_POINT("storage.read");
+      return ReadImpl(key, opts);
+    }();
+    handle->Complete(std::move(r), start, SteadyNowUs());
+  });
+  return handle;
+}
+
+bool StorageService::FinishStagedRead(const std::string& key,
+                                      uint64_t blob_size, uint64_t bytes,
+                                      IoClass cls) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return MeterRead(key, blob_size, bytes, cls);
+}
+
+bool StorageService::MeterRead(const std::string& key, uint64_t blob_size,
                                uint64_t bytes, IoClass cls) {
   if (CacheLookupOrInsert(key, blob_size)) {
     meter_.RecordCached(cls, bytes);
-  } else {
-    meter_.Record(cls, bytes);
+    return true;
   }
+  meter_.Record(cls, bytes);
+  return false;
 }
 
 void StorageService::MeterWrite(const std::string& key, uint64_t blob_size,
@@ -87,6 +188,7 @@ void StorageService::MeterWrite(const std::string& key, uint64_t blob_size,
   // Write-through: device cost always; written pages land in the cache.
   meter_.Record(cls, bytes);
   CacheInsert(key, blob_size);
+  NotifyMutation(key);
 }
 
 // ---------------------------------------------------------------- MemStorage
@@ -108,34 +210,13 @@ Status MemStorage::Append(const std::string& key, Slice data, IoClass cls) {
   return Status::OK();
 }
 
-Status MemStorage::Read(const std::string& key, std::vector<uint8_t>* out,
-                        IoClass cls) {
-  HG_FAIL_POINT("storage.read");
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  auto it = blobs_.find(key);
-  if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
-  *out = it->second;
-  MeterRead(key, it->second.size(), out->size(), cls);
-  return Status::OK();
-}
-
-Status MemStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
-                             std::vector<uint8_t>* out, IoClass cls) {
-  HG_FAIL_POINT("storage.read");
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+Status MemStorage::ReadRawLocked(const std::string& key, uint64_t offset,
+                                 uint64_t len, std::vector<uint8_t>* out) {
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return Status::NotFound("no blob: " + key);
   const auto& blob = it->second;
-  if (offset + len > blob.size()) {
-    return Status::OutOfRange(StringFormat(
-        "read [%llu,%llu) past blob size %llu of %s",
-        static_cast<unsigned long long>(offset),
-        static_cast<unsigned long long>(offset + len),
-        static_cast<unsigned long long>(blob.size()), key.c_str()));
-  }
   out->assign(blob.begin() + static_cast<ptrdiff_t>(offset),
               blob.begin() + static_cast<ptrdiff_t>(offset + len));
-  MeterRead(key, blob.size(), len, cls);
   return Status::OK();
 }
 
@@ -164,6 +245,7 @@ Status MemStorage::Delete(const std::string& key) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   blobs_.erase(key);
   DropFromCache(key);
+  NotifyMutation(key);
   return Status::OK();
 }
 
@@ -229,41 +311,17 @@ Status FileStorage::Append(const std::string& key, Slice data, IoClass cls) {
   return Status::OK();
 }
 
-Status FileStorage::Read(const std::string& key, std::vector<uint8_t>* out,
-                         IoClass cls) {
-  HG_FAIL_POINT("storage.read");
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+Status FileStorage::ReadRawLocked(const std::string& key, uint64_t offset,
+                                  uint64_t len, std::vector<uint8_t>* out) {
   const std::string path = PathFor(key);
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  std::ifstream f(path, std::ios::binary);
   if (!f) return Status::NotFound("no blob file: " + path);
-  const std::streamsize size = f.tellg();
-  f.seekg(0);
-  out->resize(static_cast<size_t>(size));
-  if (size > 0 && !f.read(reinterpret_cast<char*>(out->data()), size)) {
-    return Status::IoError("read failed: " + path);
-  }
-  MeterRead(key, static_cast<uint64_t>(size), out->size(), cls);
-  return Status::OK();
-}
-
-Status FileStorage::ReadRange(const std::string& key, uint64_t offset, uint64_t len,
-                              std::vector<uint8_t>* out, IoClass cls) {
-  HG_FAIL_POINT("storage.read");
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  const std::string path = PathFor(key);
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) return Status::NotFound("no blob file: " + path);
-  const uint64_t size = static_cast<uint64_t>(f.tellg());
-  if (offset + len > size) {
-    return Status::OutOfRange("range read past end of " + path);
-  }
   f.seekg(static_cast<std::streamoff>(offset));
   out->resize(static_cast<size_t>(len));
   if (len > 0 && !f.read(reinterpret_cast<char*>(out->data()),
                          static_cast<std::streamsize>(len))) {
-    return Status::IoError("range read failed: " + path);
+    return Status::IoError("read failed: " + path);
   }
-  MeterRead(key, size, len, cls);
   return Status::OK();
 }
 
@@ -296,6 +354,7 @@ Status FileStorage::Delete(const std::string& key) {
   std::error_code ec;
   fs::remove(PathFor(key), ec);
   DropFromCache(key);
+  NotifyMutation(key);
   return Status::OK();
 }
 

@@ -168,7 +168,7 @@ TEST(MessageFlow, SpillCombiningShrinksRunsAndPreservesPageRank) {
   auto run = [&](bool combine) {
     JobConfig cfg = Base(EngineMode::kPush);
     cfg.msg_buffer_per_node = 100;  // force heavy spilling
-    cfg.spill_combining = combine;
+    cfg.io.spill_combining = combine;
     Engine<PageRankProgram> engine(cfg, PageRankProgram{});
     EXPECT_TRUE(engine.Load(g).ok());
     EXPECT_TRUE(engine.Run().ok());
@@ -201,7 +201,7 @@ TEST(MessageFlow, SpillCombiningExactForMinCombiner) {
   auto run = [&](bool combine) {
     JobConfig cfg = Base(EngineMode::kPush);
     cfg.msg_buffer_per_node = 100;
-    cfg.spill_combining = combine;
+    cfg.io.spill_combining = combine;
     cfg.max_supersteps = 12;  // enough for labels to propagate
     Engine<WccProgram> engine(cfg, WccProgram{});
     EXPECT_TRUE(engine.Load(g).ok());

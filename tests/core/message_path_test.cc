@@ -271,6 +271,37 @@ TEST(TraceSpans, HybridRunWritesChromeTracingJson) {
   std::remove(path.c_str());
 }
 
+TEST(TraceSpans, PrefetchRunEmitsOverlapAndPrefetchSpans) {
+  const std::string path =
+      ::testing::TempDir() + "/hg_trace_prefetch_test.json";
+  std::remove(path.c_str());
+
+  const auto g = TestGraph();
+  JobConfig cfg = BaseConfig(EngineMode::kPush, 2);
+  cfg.max_supersteps = 3;
+  cfg.io.prefetch_depth = 4;
+  cfg.trace_path = path;
+  auto rig = MakeRig(cfg, PageRankProgram{});
+  ASSERT_TRUE(rig.driver->Load(g).ok());
+  ASSERT_TRUE(rig.driver->Run().ok());
+
+  const std::string json = ReadFileOrEmpty(path);
+  ASSERT_FALSE(json.empty());
+  // One warmup window per node per superstep (inside the drain phase)...
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"drain.overlap\""),
+            static_cast<size_t>(cfg.max_supersteps) * cfg.num_nodes);
+  // ...and one background-read window per claimed staged read.
+  uint64_t hits = 0;
+  for (const auto& s : rig.driver->stats().supersteps) {
+    hits += s.prefetch_hits;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"io.prefetch\""),
+            static_cast<size_t>(hits));
+
+  std::remove(path.c_str());
+}
+
 TEST(TraceSpans, DisabledByDefaultAndZeroEvents) {
   const auto g = TestGraph();
   JobConfig cfg = BaseConfig(EngineMode::kBPull, 1);

@@ -51,18 +51,27 @@ TEST(MetricsCsv, ValuesMatchStats) {
   const auto lines = SplitString(TrimString(csv), '\n');
   const auto header = SplitString(lines[0], ',');
   size_t msgs_col = 0, io_col = 0, buf_col = 0, res_col = 0, com_col = 0;
+  size_t psch_col = 0, phit_col = 0, pmiss_col = 0, pbytes_col = 0;
   for (size_t c = 0; c < header.size(); ++c) {
     if (header[c] == "messages") msgs_col = c;
     if (header[c] == "io_total") io_col = c;
     if (header[c] == "spill_buffer_bytes") buf_col = c;
     if (header[c] == "spill_resident_peak") res_col = c;
     if (header[c] == "spill_combined") com_col = c;
+    if (header[c] == "prefetch_scheduled") psch_col = c;
+    if (header[c] == "prefetch_hits") phit_col = c;
+    if (header[c] == "prefetch_misses") pmiss_col = c;
+    if (header[c] == "prefetch_hit_bytes") pbytes_col = c;
   }
   ASSERT_GT(msgs_col, 0u);
   ASSERT_GT(io_col, 0u);
   ASSERT_GT(buf_col, 0u);
   ASSERT_GT(res_col, 0u);
   ASSERT_GT(com_col, 0u);
+  ASSERT_GT(psch_col, 0u);
+  ASSERT_GT(phit_col, 0u);
+  ASSERT_GT(pmiss_col, 0u);
+  ASSERT_GT(pbytes_col, 0u);
   for (size_t i = 0; i < stats.supersteps.size(); ++i) {
     const auto row = SplitString(lines[i + 1], ',');
     EXPECT_EQ(std::stoull(row[msgs_col]),
@@ -73,6 +82,13 @@ TEST(MetricsCsv, ValuesMatchStats) {
     EXPECT_EQ(std::stoull(row[res_col]),
               stats.supersteps[i].spill_peak_resident);
     EXPECT_EQ(std::stoull(row[com_col]), stats.supersteps[i].spill_combined);
+    EXPECT_EQ(std::stoull(row[psch_col]),
+              stats.supersteps[i].prefetch_scheduled);
+    EXPECT_EQ(std::stoull(row[phit_col]), stats.supersteps[i].prefetch_hits);
+    EXPECT_EQ(std::stoull(row[pmiss_col]),
+              stats.supersteps[i].prefetch_misses);
+    EXPECT_EQ(std::stoull(row[pbytes_col]),
+              stats.supersteps[i].prefetch_hit_bytes);
   }
 }
 

@@ -151,7 +151,7 @@ TEST(ParallelSpillMergeTest, NonCombinableSpillOrderIsThreadCountInvariant) {
       -> std::pair<std::vector<uint8_t>, JobStats> {
     JobConfig cfg = BaseConfig(EngineMode::kPush, threads);
     cfg.msg_buffer_per_node = 40;       // almost everything spills
-    cfg.spill_merge_buffer_bytes = 64;  // several refills per run
+    cfg.io.spill_merge_buffer_bytes = 64;  // several refills per run
     auto engine = MakeEngine(cfg, AlgoKind::kLpa).ValueOrDie();
     EXPECT_TRUE(engine->Load(graph).ok());
     EXPECT_TRUE(engine->Run().ok());

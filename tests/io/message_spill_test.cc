@@ -372,8 +372,9 @@ TEST(MergeIteratorCorruption, TruncatedRunIsCorruptionNotOob) {
   ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
 
   const std::string key = storage.ListKeys("t/")[0];
-  std::vector<uint8_t> blob;
-  ASSERT_TRUE(storage.Read(key, &blob, IoClass::kSeqRead).ok());
+  auto read = storage.Read(key, {.io_class = IoClass::kSeqRead});
+  ASSERT_TRUE(read.ok());
+  std::vector<uint8_t> blob = std::move(read->data);
   // Chop mid-record: the header still promises 32 entries.
   blob.resize(blob.size() - 13);
   ASSERT_TRUE(storage
@@ -393,8 +394,9 @@ TEST(MergeIteratorCorruption, BitFlippedCountIsCorruptionNotOob) {
   ASSERT_TRUE(spill.SpillRun({{1, Payload(1)}, {2, Payload(2)}}).ok());
 
   const std::string key = storage.ListKeys("t/")[0];
-  std::vector<uint8_t> blob;
-  ASSERT_TRUE(storage.Read(key, &blob, IoClass::kSeqRead).ok());
+  auto read = storage.Read(key, {.io_class = IoClass::kSeqRead});
+  ASSERT_TRUE(read.ok());
+  std::vector<uint8_t> blob = std::move(read->data);
   for (int bit : {0, 7, 40, 63}) {  // low and high bits of the fixed64 count
     std::vector<uint8_t> flipped = blob;
     flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
@@ -438,8 +440,9 @@ TEST_P(CorruptionFuzzTest, MutatedRunNeverReadsOutOfBounds) {
     }
     ASSERT_TRUE(spill.SpillRun(std::move(run)).ok());
     const std::string key = storage.ListKeys("t/")[0];
-    std::vector<uint8_t> blob;
-    ASSERT_TRUE(storage.Read(key, &blob, IoClass::kSeqRead).ok());
+    auto read = storage.Read(key, {.io_class = IoClass::kSeqRead});
+    ASSERT_TRUE(read.ok());
+    std::vector<uint8_t> blob = std::move(read->data);
     if (rng.NextBounded(2) == 0 && blob.size() > 1) {
       blob.resize(1 + rng.NextBounded(blob.size() - 1));  // truncate
     } else {

@@ -1,10 +1,14 @@
 // Backend-parameterized storage tests: MemStorage and FileStorage must
-// behave identically through the StorageService interface.
+// behave identically through the StorageService interface — including the
+// unified ReadOptions/ReadResult read surface and async staged reads.
 #include "io/storage.h"
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
+
+#include "util/thread_pool.h"
 
 namespace hybridgraph {
 namespace {
@@ -32,55 +36,85 @@ class StorageTest : public ::testing::TestWithParam<Backend> {
 
   static Slice S(const std::string& s) { return Slice(s); }
 
+  /// Whole-blob read as a string; aborts the test on error.
+  std::string ReadAll(const std::string& key,
+                      IoClass cls = IoClass::kSeqRead) {
+    auto r = storage_->Read(key, {.io_class = cls});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return {};
+    return std::string(r->data.begin(), r->data.end());
+  }
+
   std::unique_ptr<StorageService> storage_;
   std::string dir_;
 };
 
 TEST_P(StorageTest, WriteReadRoundTrip) {
   ASSERT_TRUE(storage_->Write("a/b", S("hello"), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("a/b", &out, IoClass::kSeqRead).ok());
-  EXPECT_EQ(std::string(out.begin(), out.end()), "hello");
+  EXPECT_EQ(ReadAll("a/b"), "hello");
+}
+
+TEST_P(StorageTest, ReadReportsBlobSize) {
+  ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
+  auto r = storage_->Read("k", {.offset = 2, .length = 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->data.begin(), r->data.end()), "234");
+  EXPECT_EQ(r->blob_size, 10u);
 }
 
 TEST_P(StorageTest, WriteOverwrites) {
   ASSERT_TRUE(storage_->Write("k", S("first"), IoClass::kSeqWrite).ok());
   ASSERT_TRUE(storage_->Write("k", S("2nd"), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
-  EXPECT_EQ(std::string(out.begin(), out.end()), "2nd");
+  EXPECT_EQ(ReadAll("k"), "2nd");
   EXPECT_EQ(storage_->SizeOf("k"), 3u);
 }
 
 TEST_P(StorageTest, AppendGrows) {
   ASSERT_TRUE(storage_->Append("k", S("ab"), IoClass::kSeqWrite).ok());
   ASSERT_TRUE(storage_->Append("k", S("cd"), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
-  EXPECT_EQ(std::string(out.begin(), out.end()), "abcd");
+  EXPECT_EQ(ReadAll("k"), "abcd");
 }
 
 TEST_P(StorageTest, ReadMissingIsNotFound) {
-  std::vector<uint8_t> out;
-  EXPECT_EQ(storage_->Read("ghost", &out, IoClass::kSeqRead).code(),
-            StatusCode::kNotFound);
+  EXPECT_EQ(storage_->Read("ghost").status().code(), StatusCode::kNotFound);
 }
 
-TEST_P(StorageTest, ReadRange) {
+TEST_P(StorageTest, RangedRead) {
   ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->ReadRange("k", 3, 4, &out, IoClass::kRandRead).ok());
-  EXPECT_EQ(std::string(out.begin(), out.end()), "3456");
-  EXPECT_EQ(storage_->ReadRange("k", 8, 5, &out, IoClass::kRandRead).code(),
-            StatusCode::kOutOfRange);
+  auto r = storage_->Read(
+      "k", {.offset = 3, .length = 4, .io_class = IoClass::kRandRead});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->data.begin(), r->data.end()), "3456");
+  EXPECT_EQ(
+      storage_->Read("k", {.offset = 8, .length = 5}).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST_P(StorageTest, AllowShortClampsInsteadOfOutOfRange) {
+  ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
+  auto r = storage_->Read("k", {.offset = 8, .length = 5, .allow_short = true});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->data.begin(), r->data.end()), "89");
+  // Offset at/past the end yields an empty (not failed) read.
+  auto past = storage_->Read("k", {.offset = 12, .length = 5,
+                                   .allow_short = true});
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past->data.empty());
+}
+
+TEST_P(StorageTest, UnmeteredReadLeavesMeterUntouched) {
+  ASSERT_TRUE(storage_->Write("k", S("12345"), IoClass::kSeqWrite).ok());
+  const uint64_t before = storage_->meter()->bytes(IoClass::kSeqRead);
+  auto r = storage_->Read("k", {.io_class = IoClass::kSeqRead,
+                                .metering = false});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), before);
 }
 
 TEST_P(StorageTest, WriteRange) {
   ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
   ASSERT_TRUE(storage_->WriteRange("k", 2, S("XY"), IoClass::kRandWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
-  EXPECT_EQ(std::string(out.begin(), out.end()), "01XY456789");
+  EXPECT_EQ(ReadAll("k"), "01XY456789");
   EXPECT_EQ(storage_->WriteRange("k", 9, S("ZZ"), IoClass::kRandWrite).code(),
             StatusCode::kOutOfRange);
   EXPECT_EQ(storage_->WriteRange("nope", 0, S("a"), IoClass::kRandWrite).code(),
@@ -109,8 +143,7 @@ TEST_P(StorageTest, ListKeysByPrefix) {
 
 TEST_P(StorageTest, MeterCountsBytes) {
   ASSERT_TRUE(storage_->Write("k", S("12345"), IoClass::kRandWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(ReadAll("k"), "12345");
   EXPECT_EQ(storage_->meter()->bytes(IoClass::kRandWrite), 5u);
   EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 5u);
 }
@@ -118,9 +151,10 @@ TEST_P(StorageTest, MeterCountsBytes) {
 TEST_P(StorageTest, PageCacheMakesRereadsCached) {
   storage_->EnablePageCache(1024 * 1024);
   ASSERT_TRUE(storage_->Write("k", S("abcdef"), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out;
   // The write inserted it into the cache; the read is a hit.
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
+  auto r = storage_->Read("k", {.io_class = IoClass::kSeqRead});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
   EXPECT_EQ(storage_->meter()->cached_bytes(IoClass::kSeqRead), 6u);
   EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 0u);
 }
@@ -128,9 +162,12 @@ TEST_P(StorageTest, PageCacheMakesRereadsCached) {
 TEST_P(StorageTest, PageCacheColdReadThenWarm) {
   ASSERT_TRUE(storage_->Write("k", S("abcdef"), IoClass::kSeqWrite).ok());
   storage_->EnablePageCache(1024 * 1024);  // enabled after the write
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());   // cold
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());   // warm
+  auto cold = storage_->Read("k", {.io_class = IoClass::kSeqRead});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  auto warm = storage_->Read("k", {.io_class = IoClass::kSeqRead});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
   EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 6u);
   EXPECT_EQ(storage_->meter()->cached_bytes(IoClass::kSeqRead), 6u);
 }
@@ -140,8 +177,7 @@ TEST_P(StorageTest, PageCacheEvictsLru) {
   ASSERT_TRUE(storage_->Write("a", S("aaaaaa"), IoClass::kSeqWrite).ok());
   ASSERT_TRUE(storage_->Write("b", S("bbbbbb"), IoClass::kSeqWrite).ok());
   // "a" was evicted by "b": reading it is a device read again.
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("a", &out, IoClass::kSeqRead).ok());
+  EXPECT_EQ(ReadAll("a"), "aaaaaa");
   EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 6u);
 }
 
@@ -150,16 +186,68 @@ TEST_P(StorageTest, DeleteDropsFromCache) {
   ASSERT_TRUE(storage_->Write("k", S("xxxx"), IoClass::kSeqWrite).ok());
   ASSERT_TRUE(storage_->Delete("k").ok());
   ASSERT_TRUE(storage_->Write("k", S("yyyy"), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out;
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
-  EXPECT_EQ(std::string(out.begin(), out.end()), "yyyy");
+  EXPECT_EQ(ReadAll("k"), "yyyy");
 }
 
 TEST_P(StorageTest, EmptyBlob) {
   ASSERT_TRUE(storage_->Write("k", Slice(), IoClass::kSeqWrite).ok());
-  std::vector<uint8_t> out{1, 2, 3};
-  ASSERT_TRUE(storage_->Read("k", &out, IoClass::kSeqRead).ok());
-  EXPECT_TRUE(out.empty());
+  auto r = storage_->Read("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->data.empty());
+}
+
+TEST_P(StorageTest, MutationObserverFiresOnWriteAndDelete) {
+  std::vector<std::string> mutated;
+  storage_->SetMutationObserver(
+      [&](const std::string& key) { mutated.push_back(key); });
+  ASSERT_TRUE(storage_->Write("k", S("abc"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->WriteRange("k", 1, S("X"), IoClass::kRandWrite).ok());
+  ASSERT_TRUE(storage_->Append("k", S("d"), IoClass::kSeqWrite).ok());
+  ASSERT_TRUE(storage_->Delete("k").ok());
+  ASSERT_EQ(mutated.size(), 4u);
+  for (const auto& k : mutated) EXPECT_EQ(k, "k");
+  storage_->SetMutationObserver(nullptr);
+  ASSERT_TRUE(storage_->Write("k2", S("z"), IoClass::kSeqWrite).ok());
+  EXPECT_EQ(mutated.size(), 4u);
+}
+
+TEST_P(StorageTest, AsyncReadCompletesUnmetered) {
+  ASSERT_TRUE(storage_->Write("k", S("0123456789"), IoClass::kSeqWrite).ok());
+  ThreadPool pool(2);
+  auto handle = storage_->ReadAsync(
+      "k", {.offset = 2, .length = 4, .io_class = IoClass::kSeqRead}, &pool);
+  auto r = handle->Take();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::string(r->data.begin(), r->data.end()), "2345");
+  EXPECT_TRUE(handle->Poll());
+  EXPECT_GE(handle->end_us(), handle->start_us());
+  // Background reads never meter; FinishStagedRead is the consumption-point
+  // metering entry.
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 0u);
+  storage_->FinishStagedRead("k", r->blob_size, r->data.size(),
+                             IoClass::kSeqRead);
+  EXPECT_EQ(storage_->meter()->bytes(IoClass::kSeqRead), 4u);
+}
+
+TEST_P(StorageTest, AsyncReadCancelBeforeRun) {
+  ASSERT_TRUE(storage_->Write("k", S("abc"), IoClass::kSeqWrite).ok());
+  ThreadPool pool(1);
+  auto h1 = storage_->ReadAsync("k", {}, &pool);
+  h1->Cancel();
+  auto r1 = h1->Take();
+  // Either the task saw the cancel (FailedPrecondition) or it had already
+  // completed; both are valid outcomes of a racing Cancel.
+  if (!r1.ok()) {
+    EXPECT_EQ(r1.status().code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_TRUE(h1->cancelled());
+}
+
+TEST_P(StorageTest, AsyncReadMissingKey) {
+  ThreadPool pool(1);
+  auto handle = storage_->ReadAsync("ghost", {}, &pool);
+  auto r = handle->Take();
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,

@@ -30,6 +30,9 @@ struct Options {
   uint32_t threads = 1;
   uint64_t buffer = UINT64_MAX;
   uint64_t vertex_cache = UINT64_MAX;
+  uint32_t prefetch_depth = 0;
+  uint64_t prefetch_budget = 0;
+  bool prefetch_budget_set = false;
   int supersteps = 10;
   VertexId source = 0;
   bool source_set = false;
@@ -51,6 +54,8 @@ void Usage() {
       "  --threads N        worker threads, 0 = all cores      (default 1)\n"
       "  --buffer N         message buffer B_i per node        (default: unlimited)\n"
       "  --vertex-cache N   v-pull LRU vertex cache per node\n"
+      "  --prefetch-depth N overlapped-I/O readahead depth, 0 = off (default 0)\n"
+      "  --prefetch-budget B readahead byte budget per node      (default 4MiB)\n"
       "  --supersteps N     superstep cap                      (default 10)\n"
       "  --source V         SSSP/BFS source vertex             (default: max out-degree)\n"
       "  --disk hdd|ssd     device profile                     (default hdd)\n"
@@ -108,6 +113,8 @@ int RunJob(const Options& opt, const EdgeListGraph& graph, EngineMode mode,
   cfg.num_threads = opt.threads;
   cfg.msg_buffer_per_node = opt.buffer;
   cfg.vpull_vertex_cache = opt.vertex_cache;
+  cfg.io.prefetch_depth = opt.prefetch_depth;
+  if (opt.prefetch_budget_set) cfg.io.prefetch_budget_bytes = opt.prefetch_budget;
   cfg.max_supersteps = opt.supersteps;
   cfg.memory_resident = opt.memory_resident;
   cfg.disk = opt.disk == "ssd" ? DiskProfile::Ssd() : DiskProfile::Hdd();
@@ -179,6 +186,12 @@ int main(int argc, char** argv) {
       opt.buffer = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--vertex-cache") {
       opt.vertex_cache = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--prefetch-depth") {
+      opt.prefetch_depth =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--prefetch-budget") {
+      opt.prefetch_budget = std::strtoull(next(), nullptr, 10);
+      opt.prefetch_budget_set = true;
     } else if (arg == "--supersteps") {
       opt.supersteps = std::atoi(next());
     } else if (arg == "--source") {
