@@ -15,7 +15,7 @@ export ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}"
 "$BUILD_DIR"/tests/hg_util_tests --gtest_filter='FailPoint*:Codec*:Buffer*'
 "$BUILD_DIR"/tests/hg_net_tests
 "$BUILD_DIR"/tests/hg_core_tests \
-  --gtest_filter='FaultInjection*:DifferentialFuzz*:Recovery*:Checkpoint*:*MessagePath*:HybridGolden*:TraceSpans*:*Pipeline*'
+  --gtest_filter='FaultInjection*:DifferentialFuzz*:Recovery*:Checkpoint*:*MessagePath*:HybridGolden*:TraceSpans*:*Pipeline*:*Adaptive*:Frontier*'
 # The spill suite decodes deliberately truncated/bit-flipped run files and
 # streams merges through minimal buffers — the OOB-sensitive paths the
 # corruption fuzzers exist for.

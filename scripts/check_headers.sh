@@ -19,6 +19,8 @@ src/core/paths/push_path.h
 src/core/paths/push_m_path.h
 src/core/paths/bpull_path.h
 src/core/paths/vpull_path.h
+src/core/paths/adaptive_path.h
+src/core/frontier.h
 src/core/engine_setup.h
 src/core/message_flow.h
 src/core/superstep_accounting.h

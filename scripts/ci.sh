@@ -20,10 +20,13 @@ echo "==> spill micro-benchmark (BENCH_spill.json)"
 echo "==> overlapped-I/O pipeline bench (BENCH_pipeline.json)"
 ./build/bench/bench_pipeline BENCH_pipeline.json
 
+echo "==> adaptive-crossover bench (BENCH_adaptive.json)"
+./build/bench/bench_fig11_13_prediction BENCH_adaptive.json
+
 # Keep the benchmark baselines under version control so regressions show up
 # as diffs; skip quietly when the numbers did not change (or outside git).
-if [ -n "$(git status --porcelain BENCH_spill.json BENCH_pipeline.json 2>/dev/null)" ]; then
-  git add BENCH_spill.json BENCH_pipeline.json
+if [ -n "$(git status --porcelain BENCH_spill.json BENCH_pipeline.json BENCH_adaptive.json 2>/dev/null)" ]; then
+  git add BENCH_spill.json BENCH_pipeline.json BENCH_adaptive.json
   git commit -m "Update CI benchmark baselines"
 fi
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/job_config.h"
+#include "core/paths/adaptive_path.h"
 #include "core/paths/bpull_path.h"
 #include "core/paths/push_m_path.h"
 #include "core/paths/push_path.h"
@@ -63,12 +64,23 @@ class Engine {
       push_ = std::make_unique<PushPath<P>>(&driver_);
     }
     bpull_ = std::make_unique<BPullPath<P>>(&driver_);
+    if (mode == EngineMode::kAdaptive) {
+      adaptive_ = std::make_unique<AdaptivePath<P>>(&driver_);
+    }
     // Only active paths build their disk layout; the registry still knows
-    // every installed path so consumption can dispatch by mode.
-    driver_.InstallPath(push_.get(), /*active=*/mode != EngineMode::kBPull);
+    // every installed path so consumption can dispatch by mode. Under
+    // adaptive the per-cell path both produces and serves pulls, so push
+    // and b-pull stay installed but inactive (their drain machinery is
+    // invoked through the adaptive path, not their registry slots).
+    driver_.InstallPath(push_.get(),
+                        /*active=*/mode != EngineMode::kBPull &&
+                            mode != EngineMode::kAdaptive);
     driver_.InstallPath(bpull_.get(),
                         /*active=*/mode == EngineMode::kBPull ||
                             mode == EngineMode::kHybrid);
+    if (adaptive_ != nullptr) {
+      driver_.InstallPath(adaptive_.get(), /*active=*/true);
+    }
   }
 
   /// Partitions the graph, derives Vblock counts (Eq. 5/6), builds the
@@ -108,10 +120,18 @@ class Engine {
     return driver_.RestoreCheckpoint(data);
   }
 
+  /// The adaptive path's accumulated per-cell decision log (empty unless
+  /// config.mode == kAdaptive) — the golden-test surface.
+  const std::string& adaptive_decision_log() const {
+    static const std::string kEmpty;
+    return adaptive_ ? adaptive_->decision_log() : kEmpty;
+  }
+
  private:
   SuperstepDriver<P> driver_;
   std::unique_ptr<PushPath<P>> push_;  // PushMPath under config.mode == pushM
   std::unique_ptr<BPullPath<P>> bpull_;
+  std::unique_ptr<AdaptivePath<P>> adaptive_;  // config.mode == kAdaptive only
 };
 
 }  // namespace hybridgraph

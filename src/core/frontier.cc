@@ -1,0 +1,135 @@
+#include "core/frontier.h"
+
+#include <algorithm>
+
+#include "util/failpoint.h"
+
+namespace hybridgraph {
+
+CellDecision DecideCell(const CellCostInputs& in, const AdaptivePolicy& policy) {
+  if (in.cell_edges == 0 || in.cell_fragments == 0) return CellDecision::kSkip;
+  if (in.active == 0) return CellDecision::kSkip;
+  // Sparse source Vblock: the Beamer top-down condition at block
+  // granularity. Push touches only the frontier's out-edges; a pull would
+  // scan the whole Eblock for a handful of responding fragments.
+  if (static_cast<double>(in.active) * policy.beta <
+      static_cast<double>(in.vertices)) {
+    return CellDecision::kPush;
+  }
+  // Dense enough for the bottom-up analogue: compare modeled per-cell bytes.
+  // Push ships roughly the frontier's share of the cell's edges as message
+  // records (α-weighted — each risks the spill write+read+sort-merge) plus
+  // the cell's share of the adjacency block read that production charges per
+  // row. Pull scans the whole Eblock (edge + fragment-aux payload, useless
+  // edges included) and random-reads the responding fragments' source
+  // values.
+  const double frac = in.vertices > 0 ? static_cast<double>(in.active) /
+                                            static_cast<double>(in.vertices)
+                                      : 0.0;
+  const double adj_share =
+      in.row_edges > 0 ? static_cast<double>(in.adj_row_bytes) *
+                             static_cast<double>(in.cell_edges) /
+                             static_cast<double>(in.row_edges)
+                       : 0.0;
+  const double score_push = frac * static_cast<double>(in.cell_edges) *
+                                static_cast<double>(in.msg_record_size) *
+                                policy.alpha +
+                            adj_share;
+  const double score_pull =
+      static_cast<double>(in.cell_edge_bytes) +
+      static_cast<double>(in.cell_aux_bytes) +
+      frac * static_cast<double>(in.cell_fragments) *
+          static_cast<double>(in.value_record_size);
+  return score_pull <= score_push ? CellDecision::kPull : CellDecision::kPush;
+}
+
+char CellDecisionChar(CellDecision d) {
+  switch (d) {
+    case CellDecision::kSkip:
+      return '.';
+    case CellDecision::kPush:
+      return 'P';
+    case CellDecision::kPull:
+      return 'B';
+  }
+  return '?';
+}
+
+void Frontier::Reset(uint32_t n, const AdaptivePolicy& policy) {
+  n_ = n;
+  const double raw = policy.beta > 0
+                         ? static_cast<double>(n) / policy.beta
+                         : static_cast<double>(n);
+  to_bitmap_ = std::max<uint32_t>(1, static_cast<uint32_t>(raw));
+  rep_ = Rep::kQueue;
+  count_ = 0;
+  scout_degree_ = 0;
+  queue_.clear();
+  bitmap_.clear();
+}
+
+Status Frontier::Add(uint32_t li, uint32_t degree) {
+  if (Has(li)) return Status::OK();
+  if (rep_ == Rep::kQueue) {
+    queue_.push_back(li);
+  } else {
+    bitmap_[li] = 1;
+  }
+  ++count_;
+  scout_degree_ += degree;
+  if (rep_ == Rep::kQueue && count_ > to_bitmap_) {
+    // Dense now: the bitmap makes membership O(1) and stays O(n/8) bytes
+    // regardless of how much denser the frontier gets.
+    return ConvertTo(Rep::kBitmap);
+  }
+  return Status::OK();
+}
+
+Status Frontier::ConvertTo(Rep rep) {
+  if (rep == rep_) return Status::OK();
+  HG_FAIL_POINT("frontier.convert");
+  if (rep == Rep::kBitmap) {
+    bitmap_.assign(n_, 0);
+    for (uint32_t li : queue_) bitmap_[li] = 1;
+    queue_.clear();
+    queue_.shrink_to_fit();
+  } else {
+    queue_.clear();
+    queue_.reserve(count_);
+    for (uint32_t li = 0; li < n_; ++li) {
+      if (bitmap_[li]) queue_.push_back(li);
+    }
+    bitmap_.clear();
+    bitmap_.shrink_to_fit();
+  }
+  rep_ = rep;
+  return Status::OK();
+}
+
+Status Frontier::Compact() {
+  if (rep_ == Rep::kBitmap && count_ <= to_bitmap_) {
+    return ConvertTo(Rep::kQueue);
+  }
+  return Status::OK();
+}
+
+bool Frontier::Has(uint32_t li) const {
+  if (rep_ == Rep::kBitmap) {
+    return li < bitmap_.size() && bitmap_[li] != 0;
+  }
+  return std::find(queue_.begin(), queue_.end(), li) != queue_.end();
+}
+
+void Frontier::AppendTo(std::vector<uint32_t>* out) const {
+  if (rep_ == Rep::kBitmap) {
+    for (uint32_t li = 0; li < n_; ++li) {
+      if (bitmap_[li]) out->push_back(li);
+    }
+    return;
+  }
+  std::vector<uint32_t> sorted = queue_;
+  std::sort(sorted.begin(), sorted.end());
+  out->insert(out->end(), sorted.begin(), sorted.end());
+}
+
+}  // namespace hybridgraph

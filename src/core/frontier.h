@@ -1,0 +1,136 @@
+// Frontier tracking and per-Eblock-cell direction choice for the adaptive
+// MessagePath (Beamer-style direction-optimizing traversal ported onto the
+// paper's Vblock/Eblock grid).
+//
+// Two pieces, both deliberately non-template so they compile once:
+//
+//  - Frontier: one node's set of responding local vertices, kept in a dual
+//    representation — a compact queue while sparse, a bitmap once the
+//    population crosses the density threshold n/β — with automatic
+//    conversion (fail-point "frontier.convert"). The queue makes sparse
+//    supersteps O(|frontier|) to stat and iterate; the bitmap makes dense
+//    supersteps O(1) per membership test.
+//
+//  - DecideCell: a PURE function from per-cell static layout quantities
+//    (the in-memory EblockIndex + X_j metadata + adjacency block sizes) and
+//    the source Vblock's responding count to a push/pull choice for one
+//    Eblock grid cell g_ji. Purity is the consistency contract: production
+//    (superstep t, from the fresh respond flags) and pull serving
+//    (superstep t+1, from the same flags after promotion) recompute the
+//    identical grid, so no decision state needs to be stored, promoted or
+//    checkpointed — restore rebuilds it from the serialized flags for free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridgraph {
+
+/// Beamer α/β heuristic knobs at Eblock-cell granularity (classic
+/// direction-optimizing BFS defaults: α=15, β=18).
+struct AdaptivePolicy {
+  /// Push-cost inflation: one pushed message risks a buffer-overflow spill
+  /// (random write + read-back + sort-merge CPU), so its modeled bytes are
+  /// weighted α× against pull's sequential Eblock scan.
+  double alpha = 15.0;
+  /// Density gate: a cell is pull-eligible only when the source Vblock's
+  /// responding count satisfies active * β >= |b_j|. Below that the frontier
+  /// is sparse and push touches far fewer edges than a full Eblock scan.
+  double beta = 18.0;
+};
+
+/// Per-Vblock frontier statistics (active counts + scout degree sums).
+struct VblockFrontierStats {
+  uint32_t num_vertices = 0;
+  uint32_t active = 0;        ///< responding vertices in the Vblock
+  uint64_t scout_degree = 0;  ///< sum of their out-degrees
+};
+
+/// Inputs of one cell decision. Everything except `active` is static layout
+/// metadata available without I/O.
+struct CellCostInputs {
+  uint32_t active = 0;           ///< responding vertices in source Vblock b_j
+  uint32_t vertices = 0;         ///< |b_j|
+  uint64_t cell_edges = 0;       ///< edges in Eblock g_ji
+  uint64_t cell_edge_bytes = 0;  ///< its IO(E) payload bytes
+  uint64_t cell_aux_bytes = 0;   ///< its IO(F) fragment-aux bytes
+  uint32_t cell_fragments = 0;   ///< fragments in g_ji
+  uint64_t row_edges = 0;        ///< X_j.out_degree (all out-edges of b_j)
+  uint64_t adj_row_bytes = 0;    ///< adjacency block bytes of b_j (push read)
+  uint32_t msg_record_size = 0;  ///< wire/spill record: 4 + message size
+  uint32_t value_record_size = 0;  ///< vertex record: 8 + value size
+};
+
+enum class CellDecision : uint8_t {
+  kSkip = 0,  ///< empty cell or non-responding source Vblock: nothing moves
+  kPush = 1,  ///< ship at production time along adjacency out-edges
+  kPull = 2,  ///< defer to next superstep's Pull-Respond over the Eblock
+};
+
+/// One cell's direction. Pull iff the source Vblock is dense
+/// (active * β >= vertices) AND the modeled pull bytes for the cell
+/// (Eblock scan + responding-fraction of the fragment V_rr reads) undercut
+/// the α-weighted push bytes (frontier share of the cell's messages plus the
+/// cell's share of the adjacency block read).
+CellDecision DecideCell(const CellCostInputs& in, const AdaptivePolicy& policy);
+
+/// 'P' push, 'B' pull (b-pull), '.' skip — the grid alphabet of the decision
+/// log and the golden tests.
+char CellDecisionChar(CellDecision d);
+
+/// One node's responding-vertex set in dual queue/bitmap representation.
+/// Local indices must be added at most once (the path adds from the respond
+/// flags, which are per-vertex booleans); duplicate adds are ignored.
+class Frontier {
+ public:
+  enum class Rep : uint8_t { kQueue = 0, kBitmap = 1 };
+
+  /// Empties the frontier over `n` local vertices and recomputes the
+  /// conversion threshold from `policy` (queue rep until it is crossed).
+  void Reset(uint32_t n, const AdaptivePolicy& policy);
+
+  /// Adds local vertex `li` with out-degree `degree`. Crossing the density
+  /// threshold attempts a queue->bitmap conversion; a conversion failure
+  /// (fail-point "frontier.convert") is returned but leaves the frontier
+  /// valid — and containing `li` — in the old representation, so the caller
+  /// may propagate or ignore it (the next Add retries).
+  Status Add(uint32_t li, uint32_t degree);
+
+  /// Converts to `rep` (no-op when already there). Content is preserved
+  /// exactly; the fail-point "frontier.convert" can inject a failure, which
+  /// leaves the frontier untouched in the old representation.
+  Status ConvertTo(Rep rep);
+
+  /// Shrinks back to the queue representation when at or below the density
+  /// threshold (no-op otherwise).
+  Status Compact();
+
+  bool Has(uint32_t li) const;
+  uint32_t count() const { return count_; }
+  uint64_t scout_degree() const { return scout_degree_; }
+  uint32_t num_vertices() const { return n_; }
+  Rep rep() const { return rep_; }
+  /// Queue->bitmap conversion happens when count() exceeds this.
+  uint32_t to_bitmap_threshold() const { return to_bitmap_; }
+  /// Bytes held by the current representation (for modeled memory).
+  uint64_t ApproxBytes() const {
+    return rep_ == Rep::kBitmap ? n_ : static_cast<uint64_t>(count_) * 4;
+  }
+
+  /// Appends the active local indices in ascending order (both reps).
+  void AppendTo(std::vector<uint32_t>* out) const;
+
+ private:
+  uint32_t n_ = 0;
+  uint32_t to_bitmap_ = 1;
+  Rep rep_ = Rep::kQueue;
+  uint32_t count_ = 0;
+  uint64_t scout_degree_ = 0;
+  std::vector<uint32_t> queue_;   // valid when rep_ == kQueue
+  std::vector<uint8_t> bitmap_;   // valid when rep_ == kBitmap
+};
+
+}  // namespace hybridgraph

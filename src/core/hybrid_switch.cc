@@ -104,6 +104,10 @@ Result<EngineMode> DecideInitialMode(const JobConfig& config,
       return config.mode;
     case EngineMode::kBPull:
       return EngineMode::kBPull;
+    case EngineMode::kAdaptive:
+      // Direction is decided per Eblock cell inside the adaptive path; the
+      // production mode never changes at job granularity.
+      return EngineMode::kAdaptive;
     case EngineMode::kHybrid: {
       if (config.force_initial_mode) {
         return config.initial_mode;

@@ -48,6 +48,11 @@ Status JobConfig::Validate(const JobFacts& facts) const {
   if (max_supersteps < 0) {
     return Status::InvalidArgument("max_supersteps must be >= 0");
   }
+  if (!(adaptive_alpha > 0) || !(adaptive_beta > 0)) {
+    return Status::InvalidArgument(
+        "adaptive_alpha and adaptive_beta must be positive (α weights pushed "
+        "bytes, β gates pull density and the frontier bitmap threshold)");
+  }
   if (switch_interval < 1) {
     return Status::InvalidArgument("switch_interval must be >= 1");
   }

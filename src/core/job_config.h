@@ -2,6 +2,7 @@
 // hardware profiles that parameterize the cost model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -13,12 +14,16 @@ namespace hybridgraph {
 
 /// Message-handling regime (the paper's compared systems).
 enum class EngineMode : int {
-  kPush = 0,    ///< Giraph-style push with receiver-side disk spill
-  kPushM = 1,   ///< MOCgraph-style push with message online computing
-  kVPull = 2,   ///< GraphLab PowerGraph-style GAS pull (vertex-cut)
-  kBPull = 3,   ///< the paper's block-centric pull
-  kHybrid = 4,  ///< adaptive switching between push and b-pull
+  kPush = 0,      ///< Giraph-style push with receiver-side disk spill
+  kPushM = 1,     ///< MOCgraph-style push with message online computing
+  kVPull = 2,     ///< GraphLab PowerGraph-style GAS pull (vertex-cut)
+  kBPull = 3,     ///< the paper's block-centric pull
+  kHybrid = 4,    ///< per-superstep Eq. 11 switching between push and b-pull
+  kAdaptive = 5,  ///< frontier-aware per-Eblock-cell push/pull choice
 };
+
+/// Registry/table size for EngineMode-indexed containers.
+inline constexpr size_t kNumEngineModes = 6;
 
 const char* EngineModeName(EngineMode mode);
 
@@ -134,6 +139,14 @@ struct JobConfig {
   /// Sender-side combining for push/pushM (pushM+com in Appendix E). The
   /// plain paper systems leave this off.
   bool push_sender_combining = false;
+
+  /// Adaptive mode (kAdaptive): Beamer-style α/β knobs of the per-Eblock-cell
+  /// direction choice (see core/frontier.h). α inflates the modeled cost of a
+  /// pushed message (spill risk); β gates pull eligibility on frontier
+  /// density (pull only when active·β ≥ |b_j|) and sets the frontier's
+  /// queue→bitmap conversion threshold at n/β.
+  double adaptive_alpha = 15.0;
+  double adaptive_beta = 18.0;
 
   /// Treat all data as memory-resident (the "sufficient memory" scenario of
   /// Fig 7): data still flows through the stores but modeled I/O time and

@@ -72,6 +72,10 @@ class MessagePath {
   virtual bool supports_aggregator() const { return true; }
   /// Whether EvaluateSwitch/Q_t metrics apply when this path produced.
   virtual bool hybrid_metrics() const { return true; }
+  /// Whether this path answers Pull-Requests (implements ServePull). The
+  /// driver routes an incoming pull to the previous superstep's producer
+  /// path when it serves pulls, else to the b-pull registry slot.
+  virtual bool serves_pulls() const { return false; }
 
   /// Resets per-superstep counters and meter snapshots (producer side).
   virtual void BeginAccounting() = 0;

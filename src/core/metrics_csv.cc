@@ -15,13 +15,14 @@ std::string SuperstepMetricsCsv(const JobStats& stats) {
       "cpu_s,io_s,net_s,blocking_s,superstep_s,"
       "memory_bytes,spill_buffer_bytes,spill_resident_peak,spill_combined,"
       "prefetch_scheduled,prefetch_hits,prefetch_misses,prefetch_hit_bytes,"
-      "aggregate,q_t,phase_consume_s,phase_update_s,phase_drain_s\n";
+      "aggregate,q_t,phase_consume_s,phase_update_s,phase_drain_s,"
+      "push_cells,pull_cells\n";
   for (const auto& s : stats.supersteps) {
     out += StringFormat(
         "%d,%s,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
         "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,"
         "%.9g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,"
-        "%.9g\n",
+        "%.9g,%llu,%llu\n",
         s.superstep, EngineModeName(s.mode), s.switched ? 1 : 0,
         (unsigned long long)s.active_vertices,
         (unsigned long long)s.responding_vertices,
@@ -50,7 +51,8 @@ std::string SuperstepMetricsCsv(const JobStats& stats) {
         (unsigned long long)s.prefetch_hits,
         (unsigned long long)s.prefetch_misses,
         (unsigned long long)s.prefetch_hit_bytes, s.aggregate, s.q_t,
-        s.phase_consume_wall_s, s.phase_update_wall_s, s.phase_drain_wall_s);
+        s.phase_consume_wall_s, s.phase_update_wall_s, s.phase_drain_wall_s,
+        (unsigned long long)s.push_cells, (unsigned long long)s.pull_cells);
   }
   return out;
 }

@@ -1,0 +1,428 @@
+// The frontier-aware adaptive MessagePath: push or b-pull chosen PER EBLOCK
+// GRID CELL each superstep, instead of the paper's global Eq. 11 choice.
+//
+// Within one superstep of a traversal workload (BFS/SSSP) the frontier is
+// dense in some Vblocks and sparse in others: dense source rows want the
+// Eblock scan + combining of Pull-Respond, sparse rows want push's
+// touch-only-the-frontier adjacency walk. Each Phase B sweep tracks the
+// responding set per node in a dual bitmap/queue Frontier, computes the
+// per-Vblock stats, and decides every cell g_ji with the Beamer-style α/β
+// rule in DecideCell (core/frontier.h):
+//
+//   - push cells ship immediately along the adjacency out-edges whose
+//     destination Vblock was decided push (reusing push's staging /
+//     threshold-flush machinery);
+//   - pull cells ship nothing — the next superstep's Pull-Requests reach
+//     ServePull here, which serves exactly the cells decided pull (reusing
+//     b-pull's Eblock scan / V_rr / grouped-combining machinery).
+//
+// Consumption therefore composes both drains: the inbox merge for what was
+// pushed plus one Pull-Request per local Vblock for what was deferred.
+// DecideCell is pure in (responding flags, static layout metadata), so the
+// serve side recomputes the production grid exactly — no decision state is
+// stored, promoted, or checkpointed, and a restored run re-derives the grid
+// from the serialized respond flags.
+//
+// Determinism contract: the per-cell counters and the decision log are
+// written only by the owning node's Phase B task and folded in node order on
+// the driver thread at EndAccounting, so push_cells/pull_cells (new CSV
+// columns) and decision_log() are bit-identical at any thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/frontier.h"
+#include "core/paths/block_path_base.h"
+#include "graph/adjacency_store.h"
+#include "graph/ve_block_store.h"
+#include "net/message_codec.h"
+#include "util/codec.h"
+#include "util/string_util.h"
+
+namespace hybridgraph {
+
+template <typename P>
+class AdaptivePath : public BlockPathBase<P> {
+ public:
+  using Value = typename P::Value;
+  using Message = typename P::Message;
+
+  explicit AdaptivePath(SuperstepDriver<P>* driver)
+      : BlockPathBase<P>(driver) {}
+
+  EngineMode mode() const override { return EngineMode::kAdaptive; }
+  // Both layouts: push cells walk adjacency blocks, pull cells serve
+  // Eblocks. The driver ORs these into one shared topology build.
+  bool needs_adjacency() const override { return true; }
+  bool needs_veblocks() const override { return true; }
+  bool serves_pulls() const override { return true; }
+  // Q_t prediction assumes single-direction production; per-cell mixing
+  // would feed it inconsistent observations.
+  bool hybrid_metrics() const override { return false; }
+
+  Status Build(const EdgeListGraph& graph) override {
+    HG_RETURN_IF_ERROR(this->driver_->EnsureBlockTopology(graph));
+    this->InitPolicies();
+    policy_.alpha = this->driver_->config().adaptive_alpha;
+    policy_.beta = this->driver_->config().adaptive_beta;
+    scratch_.assign(this->driver_->config().num_nodes, NodeScratch{});
+    return Status::OK();
+  }
+
+  void BeginAccounting() override {
+    BlockPathBase<P>::BeginAccounting();
+    // Driver thread, before the phase fan-out: per-superstep scratch reset.
+    std::vector<NodeState>& nodes = this->driver_->nodes();
+    for (size_t i = 0; i < scratch_.size(); ++i) {
+      NodeScratch& sc = scratch_[i];
+      sc.frontier.Reset(nodes[i].range.size(), policy_);
+      sc.push_cells = 0;
+      sc.pull_cells = 0;
+      sc.decision_rows.clear();
+    }
+  }
+
+  Status Consume(uint32_t i) override {
+    NodeState& node = this->driver_->nodes()[i];
+    node.pending.ResetCount();
+    if (this->driver_->superstep() == 0) return Status::OK();
+    // Push cells delivered into the inbox at t-1; pull cells answer the
+    // requests issued here. Fixed order (push drain, then pulls in
+    // ascending node order inside CollectBPullMessages) keeps the pending
+    // set and every counter thread-count invariant.
+    HG_RETURN_IF_ERROR(CollectPushMessages(node, this->collect_policy_));
+    BPullCollectPolicy policy;
+    policy.msg_size = P::kMessageSize;
+    policy.prepull_double = this->driver_->config().pre_pull && P::kCombinable;
+    policy.num_nodes = this->driver_->config().num_nodes;
+    return CollectBPullMessages(node, this->driver_->partition(),
+                                this->driver_->transport(), policy);
+  }
+
+  Status WarmupNextSuperstep(uint32_t i) override {
+    NodeState& node = this->driver_->nodes()[i];
+    if (!node.pipeline || !node.pipeline->enabled()) return Status::OK();
+    // Both of next superstep's consume sources benefit: the spill runs the
+    // inbox merge will read, and the Eblocks of rows whose cells were
+    // decided pull. Observability only — nothing modeled moves.
+    node.inbox_next.spill()->WarmupMerge(
+        this->collect_policy_.spill_merge_buffer_bytes, node.pipeline.get());
+    const RangePartition& partition = this->driver_->partition();
+    const uint32_t first_vb = partition.FirstVblockOf(node.id);
+    const uint32_t last_vb = partition.LastVblockOf(node.id);
+    const uint32_t depth = this->driver_->config().io.prefetch_depth;
+    uint32_t scheduled = 0;
+    for (uint32_t target_vb = 0;
+         target_vb < partition.num_vblocks() && scheduled < depth;
+         ++target_vb) {
+      for (uint32_t vb = first_vb; vb < last_vb && scheduled < depth; ++vb) {
+        if (!node.vblock_res_next[vb - first_vb]) continue;
+        if (!node.ve->HasEdges(vb, target_vb)) continue;
+        if (Decide(node, vb, target_vb, CountResponding(
+                       node, vb, node.responding_next)) !=
+            CellDecision::kPull) {
+          continue;
+        }
+        node.ve->PrefetchEblock(vb, target_vb, node.pipeline.get());
+        ++scheduled;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ProduceVblock(NodeState& node, uint32_t vb,
+                       const std::vector<uint8_t>& respond_in_vb,
+                       const std::vector<uint8_t>& block_values) override {
+    const RangePartition& partition = this->driver_->partition();
+    const VertexRange r = partition.VblockRange(vb);
+    NodeScratch& sc = scratch_[node.id];
+
+    // Frontier tracking: add this block's responding vertices (bitmap/queue
+    // representation switches automatically at the density threshold).
+    uint32_t active = 0;
+    for (uint32_t k = 0; k < respond_in_vb.size(); ++k) {
+      if (!respond_in_vb[k]) continue;
+      ++active;
+      HG_RETURN_IF_ERROR(sc.frontier.Add(
+          node.LocalIdx(r.begin + k),
+          node.vstore->OutDegree(r.begin + k)));
+    }
+    if (active == 0) return Status::OK();
+
+    // Decide the whole grid row j=vb. The row string becomes the decision
+    // log / golden-test record; push cells are collected for the filtered
+    // adjacency walk below.
+    const uint32_t num_vb = partition.num_vblocks();
+    std::vector<uint8_t> push_cell(num_vb, 0);
+    std::string row;
+    row.reserve(num_vb);
+    bool any_push = false;
+    for (uint32_t dst = 0; dst < num_vb; ++dst) {
+      const CellDecision d = Decide(node, vb, dst, active);
+      row.push_back(CellDecisionChar(d));
+      if (d == CellDecision::kPush) {
+        push_cell[dst] = 1;
+        any_push = true;
+        ++sc.push_cells;
+      } else if (d == CellDecision::kPull) {
+        ++sc.pull_cells;
+      }
+    }
+    sc.decision_rows += StringFormat("t=%d n=%u j=%u %s\n",
+                                     this->driver_->superstep(), node.id, vb,
+                                     row.c_str());
+    if (!any_push) return Status::OK();  // all-pull row: no adjacency I/O
+
+    // pushRes() for the push cells only: one adjacency block read per row
+    // (same charge as pure push), messages filtered by destination cell.
+    const JobConfig& config = this->driver_->config();
+    if (node.pipeline && node.pipeline->enabled() &&
+        vb + 1 < partition.LastVblockOf(node.id)) {
+      node.adj->PrefetchBlock(vb + 1, node.pipeline.get());
+    }
+    std::vector<AdjacencyStore::VertexAdj> adj;
+    HG_RETURN_IF_ERROR(node.adj->ReadBlock(vb, &adj, node.pipeline.get()));
+    node.io.adj_edge_bytes += node.adj->BlockBytes(vb);
+    node.cpu_seconds +=
+        config.cpu.per_edge_s * static_cast<double>(node.adj->BlockEdges(vb));
+
+    std::vector<uint8_t> msg_bytes(P::kMessageSize);
+    for (const auto& va : adj) {
+      const uint32_t in_block = va.id - r.begin;
+      if (!respond_in_vb[in_block]) continue;
+      const Value value = PodCodec<Value>::Decode(
+          block_values.data() + static_cast<size_t>(in_block) * P::kValueSize);
+      const uint32_t out_degree = node.vstore->OutDegree(va.id);
+      for (const auto& e : va.out) {
+        if (!push_cell[partition.VblockOf(e.dst)]) continue;
+        const Message m = this->driver_->program().GenMessage(
+            va.id, value, out_degree, e, this->driver_->ctx());
+        ++node.msgs_produced;
+        node.cpu_seconds += config.cpu.per_message_s;
+        const NodeId dst_node = partition.NodeOf(e.dst);
+        PodCodec<Message>::Encode(m, msg_bytes.data());
+        if (config.push_sender_combining && P::kCombinable) {
+          const bool hit =
+              node.staging.TryCombine(dst_node, e.dst, msg_bytes.data());
+          node.cpu_seconds += config.cpu.per_combine_s;
+          if (hit) {
+            ++node.msgs_combined;
+            continue;
+          }
+        }
+        node.staging.Append(dst_node, e.dst, msg_bytes.data());
+        node.mem_highwater = std::max<uint64_t>(
+            node.mem_highwater,
+            node.staging.count(dst_node) * (4 + P::kMessageSize));
+        HG_RETURN_IF_ERROR(FlushStagedMessages(
+            node, this->driver_->transport(), dst_node, /*force=*/false,
+            config.sending_threshold_bytes, 4 + P::kMessageSize));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status FinishProduce(NodeState& node) override {
+    for (uint32_t y = 0; y < this->driver_->config().num_nodes; ++y) {
+      HG_RETURN_IF_ERROR(FlushStagedMessages(
+          node, this->driver_->transport(), y, /*force=*/true,
+          this->driver_->config().sending_threshold_bytes,
+          4 + P::kMessageSize));
+    }
+    return Status::OK();
+  }
+
+  Status ServePull(NodeState& node, NodeId requester, Slice payload,
+                   Buffer* response) override {
+    // Algorithm 2 (Pull-Respond), restricted to the cells this node decided
+    // pull at production time. Runs in the requester's thread; recomputes
+    // the decisions from the promoted respond flags (identical inputs →
+    // identical grid) and must not touch the production scratch.
+    NodeState::PullServe& serve = node.pull_serve[requester];
+    const JobConfig& config = this->driver_->config();
+    const RangePartition& partition = this->driver_->partition();
+    Decoder dec(payload);
+    uint32_t target_vb;
+    HG_RETURN_IF_ERROR(dec.GetFixed32(&target_vb));
+
+    // pullRes() generates the previous superstep's messages and runs under
+    // that superstep's context (same GenMessage inputs as the push cells).
+    SuperstepContext gen_ctx = this->driver_->ctx();
+    gen_ctx.superstep = gen_ctx.superstep - 1;
+    gen_ctx.prev_aggregate = this->driver_->pull_gen_aggregate();
+
+    std::vector<GroupedBatchCodec::Group> groups;
+    std::vector<int64_t> group_of;  // dst (local to requester block) -> index
+    const VertexRange dst_range = partition.VblockRange(target_vb);
+    group_of.assign(dst_range.size(), -1);
+
+    std::vector<uint8_t> value_bytes;
+    std::vector<uint8_t> msg_bytes(P::kMessageSize);
+    uint64_t produced = 0;
+    uint64_t combined_away = 0;
+
+    const uint32_t first_vb = partition.FirstVblockOf(node.id);
+    const uint32_t last_vb = partition.LastVblockOf(node.id);
+    std::vector<uint32_t> candidates;
+    for (uint32_t vb = first_vb; vb < last_vb; ++vb) {
+      if (!node.vblock_res[vb - first_vb]) continue;
+      if (!node.ve->HasEdges(vb, target_vb)) continue;
+      if (Decide(node, vb, target_vb,
+                 CountResponding(node, vb, node.responding)) !=
+          CellDecision::kPull) {
+        continue;  // pushed at production time — serving it would duplicate
+      }
+      candidates.push_back(vb);
+    }
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      const uint32_t vb = candidates[ci];
+      if (ci + 1 < candidates.size() && node.pipeline) {
+        node.ve->PrefetchEblock(candidates[ci + 1], target_vb,
+                                node.pipeline.get());
+      }
+
+      VeBlockStore::ScanResult scan;
+      HG_RETURN_IF_ERROR(
+          node.ve->ScanEblock(vb, target_vb, &scan, node.pipeline.get()));
+      serve.io.eblock_edge_bytes += scan.edge_bytes;
+      serve.io.fragment_aux_bytes += scan.aux_bytes;
+      serve.cpu_seconds +=
+          config.cpu.per_edge_s *
+          static_cast<double>(node.ve->Index(vb, target_vb).num_edges);
+
+      for (const auto& frag : scan.fragments) {
+        if (!node.responding[node.LocalIdx(frag.src)]) continue;
+        HG_RETURN_IF_ERROR(
+            node.vstore->ReadValueRandom(frag.src, &value_bytes));
+        serve.io.vrr_bytes += node.vstore->record_size();
+        const Value value = PodCodec<Value>::Decode(value_bytes.data());
+        const uint32_t out_degree = node.vstore->OutDegree(frag.src);
+
+        for (const auto& e : frag.edges) {
+          const Message m = this->driver_->program().GenMessage(
+              frag.src, value, out_degree, e, gen_ctx);
+          ++produced;
+          serve.cpu_seconds += config.cpu.per_message_s;
+          int64_t& gi = group_of[e.dst - dst_range.begin];
+          if (gi < 0) {
+            gi = static_cast<int64_t>(groups.size());
+            groups.push_back({e.dst, {}});
+          }
+          auto& payloads = groups[static_cast<size_t>(gi)].payloads;
+          const bool combine = P::kCombinable && config.bpull_combining;
+          if (combine && !payloads.empty()) {
+            const Message prev = PodCodec<Message>::Decode(payloads[0].data());
+            PodCodec<Message>::Encode(P::Combine(prev, m), payloads[0].data());
+            ++combined_away;
+          } else {
+            PodCodec<Message>::Encode(m, msg_bytes.data());
+            payloads.push_back(msg_bytes);
+            if (!combine && payloads.size() > 1) {
+              ++combined_away;  // concatenation shares the dst id on the wire
+            }
+          }
+        }
+      }
+    }
+
+    serve.msgs_produced += produced;
+    serve.msgs_combined += combined_away;
+    serve.msgs_wire += produced - combined_away;
+    const uint64_t bs_bytes =
+        GroupedBatchCodec::EncodedSize(groups, P::kMessageSize);
+    serve.bs_highwater = std::max(serve.bs_highwater, bs_bytes);
+    serve.flushes +=
+        bs_bytes == 0
+            ? 0
+            : (bs_bytes + config.sending_threshold_bytes - 1) /
+                  std::max<uint64_t>(1, config.sending_threshold_bytes);
+    GroupedBatchCodec::Encode(groups, P::kMessageSize, response);
+    return Status::OK();
+  }
+
+  SuperstepMetrics EndAccounting(EngineMode produce_mode,
+                                 bool switched) override {
+    SuperstepMetrics m = BlockPathBase<P>::EndAccounting(produce_mode,
+                                                         switched);
+    // Driver thread: fold the per-node cell counters and decision rows in
+    // node order, so the totals and the log are thread-count invariant.
+    TraceCollector* trace = this->driver_->trace();
+    for (size_t i = 0; i < scratch_.size(); ++i) {
+      const NodeScratch& sc = scratch_[i];
+      m.push_cells += sc.push_cells;
+      m.pull_cells += sc.pull_cells;
+      decision_log_ += sc.decision_rows;
+      if (trace->enabled() && !sc.decision_rows.empty()) {
+        trace->AddInstant("adaptive.decide", this->driver_->superstep(),
+                          static_cast<int>(i), EngineMode::kAdaptive,
+                          sc.decision_rows);
+      }
+    }
+    return m;
+  }
+
+  /// Per-Vblock frontier stats of node i's current production sweep (valid
+  /// between UpdateProduce and the next BeginAccounting; exposed for tests).
+  const Frontier& frontier(uint32_t i) const { return scratch_[i].frontier; }
+
+  /// The accumulated per-cell decision log ("t=<t> n=<node> j=<vblock>
+  /// <cells>" per responding row, cells over destination Vblocks with the
+  /// CellDecisionChar alphabet) — the golden-test surface.
+  const std::string& decision_log() const { return decision_log_; }
+
+ protected:
+  uint64_t ExtraMemoryBytes(const NodeState& node) const override {
+    // Push share of the buffers (pending inbox records) plus the frontier's
+    // current representation.
+    return node.inbox_next.count() * (4 + P::kMessageSize) +
+           scratch_[node.id].frontier.ApproxBytes();
+  }
+
+ private:
+  struct NodeScratch {
+    Frontier frontier;
+    uint64_t push_cells = 0;
+    uint64_t pull_cells = 0;
+    std::string decision_rows;
+  };
+
+  /// Responding count of Vblock `vb` under the given flag vector.
+  uint32_t CountResponding(const NodeState& node, uint32_t vb,
+                           const std::vector<uint8_t>& flags) const {
+    const VertexRange r = this->driver_->partition().VblockRange(vb);
+    uint32_t active = 0;
+    for (VertexId v = r.begin; v < r.end; ++v) {
+      active += flags[node.LocalIdx(v)];
+    }
+    return active;
+  }
+
+  /// The pure per-cell decision for g_{vb, dst_vb} given the source row's
+  /// responding count.
+  CellDecision Decide(const NodeState& node, uint32_t vb, uint32_t dst_vb,
+                      uint32_t active) const {
+    const VertexRange r = this->driver_->partition().VblockRange(vb);
+    const VeBlockStore::EblockIndex& idx = node.ve->Index(vb, dst_vb);
+    CellCostInputs in;
+    in.active = active;
+    in.vertices = r.size();
+    in.cell_edges = idx.num_edges;
+    in.cell_edge_bytes = idx.edge_bytes;
+    in.cell_aux_bytes = idx.aux_bytes;
+    in.cell_fragments = idx.num_fragments;
+    in.row_edges = node.ve->Meta(vb).out_degree;
+    in.adj_row_bytes = node.adj->BlockBytes(vb);
+    in.msg_record_size = SuperstepDriver<P>::kMsgRecordSize;
+    in.value_record_size = SuperstepDriver<P>::kValueRecordSize;
+    return DecideCell(in, policy_);
+  }
+
+  AdaptivePolicy policy_;
+  std::vector<NodeScratch> scratch_;  // indexed by node id
+  std::string decision_log_;
+};
+
+}  // namespace hybridgraph

@@ -27,6 +27,7 @@ class BPullPath : public BlockPathBase<P> {
 
   EngineMode mode() const override { return EngineMode::kBPull; }
   bool needs_veblocks() const override { return true; }
+  bool serves_pulls() const override { return true; }
 
   Status Build(const EdgeListGraph& graph) override {
     HG_RETURN_IF_ERROR(this->driver_->EnsureBlockTopology(graph));

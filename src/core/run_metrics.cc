@@ -16,6 +16,8 @@ const char* EngineModeName(EngineMode mode) {
       return "b-pull";
     case EngineMode::kHybrid:
       return "hybrid";
+    case EngineMode::kAdaptive:
+      return "adaptive";
   }
   return "?";
 }

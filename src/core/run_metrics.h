@@ -70,6 +70,13 @@ struct SuperstepMetrics {
 
   uint64_t memory_highwater_bytes = 0;
 
+  /// Adaptive mode (kAdaptive) only, zero elsewhere: cluster-wide count of
+  /// Eblock grid cells decided push / decided pull this superstep. Modeled
+  /// (not measured): folded from per-node counters in node order, so they
+  /// are bit-identical at any thread count like every other modeled column.
+  uint64_t push_cells = 0;
+  uint64_t pull_cells = 0;
+
   /// Streaming spill-merge observability (push/hybrid only; zero elsewhere).
   uint64_t spill_merge_buffer_bytes = 0;  ///< max over nodes: run buffers held
   uint64_t spill_peak_resident = 0;       ///< max over nodes: peak resident

@@ -331,10 +331,16 @@ class SuperstepDriver {
       transport_->RegisterHandler(
           i, RpcMethod::kPullRequest,
           [this, node](NodeId src, Slice payload, Buffer* response) {
-            MessagePath<P>* bp =
-                registry_[static_cast<size_t>(EngineMode::kBPull)];
-            if (bp == nullptr) return Status::Internal("no pull path installed");
-            return bp->ServePull(*node, src, payload, response);
+            // A pull at superstep t fetches the messages PRODUCED at t-1, so
+            // it is served by the previous producer path when that path
+            // serves pulls (adaptive), else by the b-pull slot (the only
+            // other server; push producers never trigger pulls).
+            MessagePath<P>* p = registry_[static_cast<size_t>(prev_produce_)];
+            if (p == nullptr || !p->serves_pulls()) {
+              p = registry_[static_cast<size_t>(EngineMode::kBPull)];
+            }
+            if (p == nullptr) return Status::Internal("no pull path installed");
+            return p->ServePull(*node, src, payload, response);
           });
       transport_->RegisterHandler(i, RpcMethod::kControl,
                                   [](NodeId, Slice, Buffer*) {
@@ -582,7 +588,7 @@ class SuperstepDriver {
 
   /// Mode -> strategy. Indexed by EngineMode; kHybrid's slot stays null
   /// (hybrid is a driver policy, not a path).
-  std::array<MessagePath<P>*, 5> registry_{};
+  std::array<MessagePath<P>*, kNumEngineModes> registry_{};
   std::vector<MessagePath<P>*> build_order_;
 };
 

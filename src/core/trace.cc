@@ -13,6 +13,27 @@ int64_t MonotonicNs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 }  // namespace
 
 void TraceCollector::Enable() {
@@ -44,6 +65,16 @@ void TraceCollector::AddSteadySpan(const char* name, int superstep, int node,
   AddSpan(name, superstep, node, s, e, mode);
 }
 
+void TraceCollector::AddInstant(const char* name, int superstep, int node,
+                                EngineMode mode, const std::string& detail) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event e{name, superstep, node, NowUs(), 0, mode};
+  e.instant = true;
+  e.detail = detail;
+  events_.push_back(std::move(e));
+}
+
 size_t TraceCollector::num_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -58,6 +89,16 @@ Status TraceCollector::WriteJson(const std::string& path) const {
       if (!first) json += ',';
       first = false;
       // pid 0 = the driver (cluster-wide phase spans); pid i+1 = node i.
+      if (e.instant) {
+        json += StringFormat(
+            "{\"name\":\"%s\",\"cat\":\"superstep\",\"ph\":\"i\",\"s\":\"p\","
+            "\"ts\":%llu,\"pid\":%d,\"tid\":0,"
+            "\"args\":{\"superstep\":%d,\"mode\":\"%s\",\"detail\":\"%s\"}}",
+            e.name, static_cast<unsigned long long>(e.start_us),
+            e.node < 0 ? 0 : e.node + 1, e.superstep, EngineModeName(e.mode),
+            JsonEscape(e.detail).c_str());
+        continue;
+      }
       json += StringFormat(
           "{\"name\":\"%s\",\"cat\":\"superstep\",\"ph\":\"X\","
           "\"ts\":%llu,\"dur\":%llu,\"pid\":%d,\"tid\":0,"

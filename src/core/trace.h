@@ -40,6 +40,12 @@ class TraceCollector {
                      uint64_t steady_start_us, uint64_t steady_end_us,
                      EngineMode mode);
 
+  /// Records an instant event (ph:"i") carrying a free-form detail payload —
+  /// used for the adaptive path's per-cell decision log. `detail` is
+  /// JSON-escaped on export.
+  void AddInstant(const char* name, int superstep, int node, EngineMode mode,
+                  const std::string& detail);
+
   /// Writes {"traceEvents": [...]} to `path`, loadable by chrome://tracing
   /// and Perfetto.
   Status WriteJson(const std::string& path) const;
@@ -54,6 +60,8 @@ class TraceCollector {
     uint64_t start_us;
     uint64_t dur_us;
     EngineMode mode;
+    bool instant = false;  ///< ph:"i" with a detail arg instead of ph:"X"
+    std::string detail;    ///< instant events only
   };
 
   bool enabled_ = false;

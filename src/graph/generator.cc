@@ -135,6 +135,69 @@ EdgeListGraph GenerateWebGraph(uint64_t num_vertices, double avg_degree,
   return g;
 }
 
+EdgeListGraph GenerateRmat(uint64_t num_vertices, uint64_t num_edges,
+                           uint64_t seed, double a, double b, double c) {
+  HG_CHECK_GT(num_vertices, 1u);
+  Rng rng(seed);
+  EdgeListGraph g;
+  g.num_vertices = num_vertices;
+  g.edges.reserve(num_edges);
+  // Round the quadrant recursion up to the next power of two and re-draw
+  // edges that land outside [0, n) (or on the diagonal).
+  uint64_t scale = 1;
+  while ((1ull << scale) < num_vertices) ++scale;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    VertexId src = 0, dst = 0;
+    do {
+      uint64_t u = 0, v = 0;
+      for (uint64_t level = 0; level < scale; ++level) {
+        const double r = rng.NextDouble();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left: neither bit set
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      src = static_cast<VertexId>(u);
+      dst = static_cast<VertexId>(v);
+    } while (src >= num_vertices || dst >= num_vertices || src == dst);
+    g.edges.push_back({src, dst, EdgeWeight(&rng)});
+  }
+  return g;
+}
+
+EdgeListGraph GenerateChain(uint64_t num_vertices, uint64_t seed) {
+  HG_CHECK_GT(num_vertices, 1u);
+  Rng rng(seed);
+  EdgeListGraph g;
+  g.num_vertices = num_vertices;
+  g.edges.reserve(num_vertices - 1);
+  for (VertexId u = 0; u + 1 < num_vertices; ++u) {
+    g.edges.push_back({u, u + 1, EdgeWeight(&rng)});
+  }
+  return g;
+}
+
+EdgeListGraph GenerateStar(uint64_t num_vertices, uint64_t seed) {
+  HG_CHECK_GT(num_vertices, 1u);
+  Rng rng(seed);
+  EdgeListGraph g;
+  g.num_vertices = num_vertices;
+  g.edges.reserve(2 * (num_vertices - 1));
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    g.edges.push_back({0, v, EdgeWeight(&rng)});
+    g.edges.push_back({v, 0, EdgeWeight(&rng)});
+  }
+  return g;
+}
+
 const std::vector<DatasetSpec>& PaperDatasets() {
   // Scale models of Table 4. Small graphs ~1/200 scale, large ~1/1000.
   // avg_degree and the web/social split match the originals; skew is higher

@@ -36,6 +36,24 @@ EdgeListGraph GeneratePowerLaw(uint64_t num_vertices, double avg_degree,
 EdgeListGraph GenerateWebGraph(uint64_t num_vertices, double avg_degree,
                                double skew, double locality, uint64_t seed);
 
+/// R-MAT recursive-matrix graph (Chakrabarti et al.): each edge recursively
+/// descends into one of the four adjacency-matrix quadrants with
+/// probabilities (a, b, c, 1-a-b-c). The default parameters give the skewed,
+/// community-structured shape traversal benchmarks (Graph500) use — frontier
+/// density varies sharply across Vblocks, which is what the adaptive path's
+/// per-cell choice exploits. Self-loops are re-drawn.
+EdgeListGraph GenerateRmat(uint64_t num_vertices, uint64_t num_edges,
+                           uint64_t seed, double a = 0.57, double b = 0.19,
+                           double c = 0.19);
+
+/// Directed chain 0 -> 1 -> ... -> n-1: a single-vertex frontier every
+/// superstep (worst case for pull, diameter n-1). `seed` only draws weights.
+EdgeListGraph GenerateChain(uint64_t num_vertices, uint64_t seed);
+
+/// Star around hub 0 (0 -> v and v -> 0 for all v): one superstep with a
+/// maximally dense frontier. `seed` only draws weights.
+EdgeListGraph GenerateStar(uint64_t num_vertices, uint64_t seed);
+
 /// \brief Catalog entry for one paper-dataset scale model.
 struct DatasetSpec {
   std::string name;        ///< e.g. "livej"

@@ -1,0 +1,266 @@
+// Unit tests for the adaptive path's frontier representation and the pure
+// per-cell decision function (core/frontier.{h,cc}): queue<->bitmap
+// conversion edge cases, exact threshold behaviour, and consistency of the
+// set under injected conversion failures (fail-point "frontier.convert").
+#include "core/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace hybridgraph {
+namespace {
+
+CellCostInputs BaseCell() {
+  // A representative non-degenerate cell: 64 vertices in the source Vblock,
+  // 256 edges in the cell out of 1024 in the row.
+  CellCostInputs in;
+  in.vertices = 64;
+  in.cell_edges = 256;
+  in.cell_edge_bytes = 256 * 12;
+  in.cell_aux_bytes = 512;
+  in.cell_fragments = 40;
+  in.row_edges = 1024;
+  in.adj_row_bytes = 1024 * 12;
+  in.msg_record_size = 12;
+  in.value_record_size = 16;
+  return in;
+}
+
+TEST(FrontierDecideCell, EmptyCellOrIdleSourceSkips) {
+  AdaptivePolicy policy;
+  CellCostInputs in = BaseCell();
+  in.active = 32;
+  in.cell_edges = 0;
+  in.cell_fragments = 0;
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kSkip);
+
+  in = BaseCell();
+  in.active = 0;
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kSkip);
+}
+
+TEST(FrontierDecideCell, SparseFrontierPushes) {
+  // active·β < |b_j| — the Beamer top-down condition at block granularity.
+  AdaptivePolicy policy;  // β = 18
+  CellCostInputs in = BaseCell();
+  in.active = 3;  // 3·18 = 54 < 64
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kPush);
+}
+
+TEST(FrontierDecideCell, DenseCheapEblockPulls) {
+  // Dense frontier and a compact Eblock: pull's sequential scan undercuts
+  // α-weighted push bytes.
+  AdaptivePolicy policy;
+  CellCostInputs in = BaseCell();
+  in.active = 64;  // fully dense
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kPull);
+}
+
+TEST(FrontierDecideCell, ExactBetaThresholdIsPullEligible) {
+  // active·β == |b_j| exactly: NOT sparse (the condition is strict <), so
+  // the byte comparison decides. With α large the push side always loses.
+  AdaptivePolicy policy;
+  policy.beta = 16.0;
+  CellCostInputs in = BaseCell();
+  in.active = 4;  // 4·16 == 64
+  policy.alpha = 1e6;
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kPull);
+  // One active vertex fewer: strictly sparse, push regardless of α.
+  in.active = 3;
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kPush);
+}
+
+TEST(FrontierDecideCell, AlphaTiltsTheByteComparison) {
+  AdaptivePolicy policy;
+  CellCostInputs in = BaseCell();
+  in.active = 64;
+  // α -> 0 makes pushed messages free; a dense frontier then pushes because
+  // pull still pays the full Eblock scan.
+  policy.alpha = 1e-9;
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kPush);
+  policy.alpha = 1e9;
+  EXPECT_EQ(DecideCell(in, policy), CellDecision::kPull);
+}
+
+TEST(FrontierDecideCell, DecisionCharsAreTheGridAlphabet) {
+  EXPECT_EQ(CellDecisionChar(CellDecision::kSkip), '.');
+  EXPECT_EQ(CellDecisionChar(CellDecision::kPush), 'P');
+  EXPECT_EQ(CellDecisionChar(CellDecision::kPull), 'B');
+}
+
+// ----------------------------------------------------------------- Frontier
+
+TEST(FrontierRep, EmptyFrontier) {
+  Frontier f;
+  f.Reset(100, AdaptivePolicy{});
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_EQ(f.scout_degree(), 0u);
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  EXPECT_FALSE(f.Has(0));
+  std::vector<uint32_t> out;
+  f.AppendTo(&out);
+  EXPECT_TRUE(out.empty());
+  // An empty frontier converts both ways without issue.
+  EXPECT_TRUE(f.ConvertTo(Frontier::Rep::kBitmap).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kBitmap);
+  EXPECT_TRUE(f.ConvertTo(Frontier::Rep::kQueue).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+}
+
+TEST(FrontierRep, AllActiveConvertsToBitmapAndBack) {
+  Frontier f;
+  const uint32_t n = 90;  // threshold = floor(90/18) = 5
+  f.Reset(n, AdaptivePolicy{});
+  for (uint32_t li = 0; li < n; ++li) {
+    ASSERT_TRUE(f.Add(li, 2).ok());
+  }
+  EXPECT_EQ(f.count(), n);
+  EXPECT_EQ(f.scout_degree(), 2ull * n);
+  EXPECT_EQ(f.rep(), Frontier::Rep::kBitmap);
+  for (uint32_t li = 0; li < n; ++li) EXPECT_TRUE(f.Has(li));
+  std::vector<uint32_t> out;
+  f.AppendTo(&out);
+  ASSERT_EQ(out.size(), n);
+  for (uint32_t li = 0; li < n; ++li) EXPECT_EQ(out[li], li);
+  // All-active cannot compact (count > threshold)...
+  EXPECT_TRUE(f.Compact().ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kBitmap);
+  // ...but an explicit conversion preserves content exactly.
+  EXPECT_TRUE(f.ConvertTo(Frontier::Rep::kQueue).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  EXPECT_EQ(f.count(), n);
+  EXPECT_EQ(f.scout_degree(), 2ull * n);
+  for (uint32_t li = 0; li < n; ++li) EXPECT_TRUE(f.Has(li));
+}
+
+TEST(FrontierRep, SingleVertexVblock) {
+  // n = 1: threshold clamps to max(1, floor(1/18)) = 1, so the single
+  // possible element never triggers a conversion.
+  Frontier f;
+  f.Reset(1, AdaptivePolicy{});
+  EXPECT_EQ(f.to_bitmap_threshold(), 1u);
+  ASSERT_TRUE(f.Add(0, 7).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  EXPECT_EQ(f.count(), 1u);
+  EXPECT_EQ(f.scout_degree(), 7u);
+  EXPECT_TRUE(f.Has(0));
+  // Duplicate adds are ignored entirely (no double scout counting).
+  ASSERT_TRUE(f.Add(0, 7).ok());
+  EXPECT_EQ(f.count(), 1u);
+  EXPECT_EQ(f.scout_degree(), 7u);
+}
+
+TEST(FrontierRep, ConversionAtExactlyTheThreshold) {
+  // n = 36, β = 18 -> threshold 2: the frontier stays a queue AT the
+  // threshold and converts on the add that crosses it.
+  Frontier f;
+  AdaptivePolicy policy;
+  f.Reset(36, policy);
+  ASSERT_EQ(f.to_bitmap_threshold(), 2u);
+  ASSERT_TRUE(f.Add(30, 1).ok());
+  ASSERT_TRUE(f.Add(5, 1).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  ASSERT_TRUE(f.Add(17, 1).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kBitmap);
+  EXPECT_EQ(f.count(), 3u);
+  // Ascending in both representations (queue was inserted out of order).
+  std::vector<uint32_t> out;
+  f.AppendTo(&out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{5, 17, 30}));
+}
+
+TEST(FrontierRep, QueueAppendsAscendingDespiteInsertionOrder) {
+  Frontier f;
+  f.Reset(100, AdaptivePolicy{});  // threshold 5; stay under it
+  ASSERT_TRUE(f.Add(42, 1).ok());
+  ASSERT_TRUE(f.Add(7, 1).ok());
+  ASSERT_TRUE(f.Add(99, 1).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  std::vector<uint32_t> out;
+  f.AppendTo(&out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{7, 42, 99}));
+}
+
+TEST(FrontierRep, CompactShrinksOnlyAtOrBelowThreshold) {
+  Frontier f;
+  f.Reset(36, AdaptivePolicy{});  // threshold 2
+  ASSERT_TRUE(f.Add(1, 1).ok());
+  ASSERT_TRUE(f.ConvertTo(Frontier::Rep::kBitmap).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kBitmap);
+  EXPECT_TRUE(f.Compact().ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  EXPECT_TRUE(f.Has(1));
+}
+
+TEST(FrontierRep, ApproxBytesTracksTheRepresentation) {
+  Frontier f;
+  f.Reset(1000, AdaptivePolicy{});
+  ASSERT_TRUE(f.Add(3, 1).ok());
+  ASSERT_TRUE(f.Add(4, 1).ok());
+  EXPECT_EQ(f.ApproxBytes(), 8u);  // 2 queue entries · 4 bytes
+  ASSERT_TRUE(f.ConvertTo(Frontier::Rep::kBitmap).ok());
+  EXPECT_EQ(f.ApproxBytes(), 1000u);  // one byte per vertex
+}
+
+TEST(FrontierRep, FailedConversionLeavesAValidFrontier) {
+  // Deterministic failure: every ConvertTo fires. The add that crosses the
+  // threshold reports the error but the element is already in the queue.
+  FailPointScope scope("frontier.convert=error:p=1,seed=1");
+  ASSERT_TRUE(scope.status().ok());
+  Frontier f;
+  f.Reset(36, AdaptivePolicy{});  // threshold 2
+  ASSERT_TRUE(f.Add(0, 1).ok());
+  ASSERT_TRUE(f.Add(1, 1).ok());
+  const Status st = f.Add(2, 1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kQueue);
+  EXPECT_EQ(f.count(), 3u);
+  EXPECT_TRUE(f.Has(2));
+}
+
+TEST(FrontierRep, ConvertFuzzKeepsSetConsistent) {
+  // Random conversion failures at p=0.5: whatever the interleaving of
+  // successful and failed conversions, the frontier's SET is always exactly
+  // the adds so far, in either representation.
+  FailPointScope scope("frontier.convert=error:p=0.5,seed=77");
+  ASSERT_TRUE(scope.status().ok());
+  Rng rng(123);
+  for (int round = 0; round < 20; ++round) {
+    const uint32_t n = 20 + static_cast<uint32_t>(rng.NextBounded(120));
+    Frontier f;
+    f.Reset(n, AdaptivePolicy{});
+    std::set<uint32_t> model;
+    uint64_t scout = 0;
+    for (int i = 0; i < 60; ++i) {
+      const uint32_t li = static_cast<uint32_t>(rng.NextBounded(n));
+      const bool fresh = model.insert(li).second;
+      if (fresh) scout += li % 5;
+      // Add may fail (conversion attempt fired) but must still record li.
+      (void)f.Add(li, li % 5);
+      if (i % 7 == 0) (void)f.Compact();
+      if (i % 11 == 0) (void)f.ConvertTo(Frontier::Rep::kBitmap);
+      ASSERT_EQ(f.count(), model.size());
+      ASSERT_EQ(f.scout_degree(), scout);
+      ASSERT_TRUE(f.Has(li));
+    }
+    std::vector<uint32_t> got;
+    f.AppendTo(&got);
+    ASSERT_EQ(got, std::vector<uint32_t>(model.begin(), model.end()));
+  }
+  // After disarm, conversion succeeds again and content survives.
+  FailPointRegistry::Instance().Disarm("frontier.convert");
+  Frontier f;
+  f.Reset(36, AdaptivePolicy{});
+  ASSERT_TRUE(f.Add(9, 1).ok());
+  EXPECT_TRUE(f.ConvertTo(Frontier::Rep::kBitmap).ok());
+  EXPECT_EQ(f.rep(), Frontier::Rep::kBitmap);
+  EXPECT_TRUE(f.Has(9));
+}
+
+}  // namespace
+}  // namespace hybridgraph

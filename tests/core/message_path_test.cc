@@ -17,6 +17,7 @@
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
 #include "algos/wcc.h"
+#include "core/paths/adaptive_path.h"
 #include "core/paths/bpull_path.h"
 #include "core/paths/push_m_path.h"
 #include "core/paths/push_path.h"
@@ -41,6 +42,7 @@ struct DriverRig {
   std::unique_ptr<PushPath<P>> push;
   std::unique_ptr<BPullPath<P>> bpull;
   std::unique_ptr<VPullPath<P>> vpull;
+  std::unique_ptr<AdaptivePath<P>> adaptive;
 
   Result<std::vector<typename P::Value>> Gather() {
     if (vpull) return vpull->GatherValues();
@@ -67,10 +69,15 @@ DriverRig<P> MakeRig(const JobConfig& cfg, P program) {
   }
   rig.bpull = std::make_unique<BPullPath<P>>(rig.driver.get());
   rig.driver->InstallPath(rig.push.get(),
-                          /*active=*/cfg.mode != EngineMode::kBPull);
+                          /*active=*/cfg.mode != EngineMode::kBPull &&
+                              cfg.mode != EngineMode::kAdaptive);
   rig.driver->InstallPath(rig.bpull.get(),
                           /*active=*/cfg.mode == EngineMode::kBPull ||
                               cfg.mode == EngineMode::kHybrid);
+  if (cfg.mode == EngineMode::kAdaptive) {
+    rig.adaptive = std::make_unique<AdaptivePath<P>>(rig.driver.get());
+    rig.driver->InstallPath(rig.adaptive.get(), /*active=*/true);
+  }
   return rig;
 }
 
@@ -84,9 +91,9 @@ JobConfig BaseConfig(EngineMode mode, uint32_t threads) {
   return cfg;
 }
 
-constexpr EngineMode kAllModes[] = {EngineMode::kPush, EngineMode::kPushM,
-                                    EngineMode::kVPull, EngineMode::kBPull,
-                                    EngineMode::kHybrid};
+constexpr EngineMode kAllModes[] = {EngineMode::kPush,   EngineMode::kPushM,
+                                    EngineMode::kVPull,  EngineMode::kBPull,
+                                    EngineMode::kHybrid, EngineMode::kAdaptive};
 
 class MessagePathConformance : public ::testing::TestWithParam<uint32_t> {};
 
@@ -150,7 +157,8 @@ TEST_P(MessagePathConformance, MetricsTagTheProducingPath) {
   // and single-mode runs must never report another path's mode.
   const auto g = TestGraph();
   for (EngineMode mode : {EngineMode::kPush, EngineMode::kPushM,
-                          EngineMode::kVPull, EngineMode::kBPull}) {
+                          EngineMode::kVPull, EngineMode::kBPull,
+                          EngineMode::kAdaptive}) {
     JobConfig cfg = BaseConfig(mode, GetParam());
     cfg.max_supersteps = 5;
     auto rig = MakeRig(cfg, PageRankProgram{});
@@ -178,6 +186,7 @@ TEST(MessagePathCapabilities, PathsDeclareTheirNeeds) {
   PushMPath<PageRankProgram> pushm(&driver);
   BPullPath<PageRankProgram> bpull(&driver);
   VPullPath<PageRankProgram> vpull(&driver);
+  AdaptivePath<PageRankProgram> adaptive(&driver);
 
   EXPECT_EQ(push.mode(), EngineMode::kPush);
   EXPECT_TRUE(push.needs_adjacency());
@@ -195,6 +204,20 @@ TEST(MessagePathCapabilities, PathsDeclareTheirNeeds) {
   EXPECT_FALSE(vpull.needs_veblocks());
   EXPECT_FALSE(vpull.supports_aggregator());
   EXPECT_FALSE(vpull.hybrid_metrics());
+
+  // The adaptive path needs both layouts (push cells walk adjacency, pull
+  // cells serve Eblocks) and answers pulls itself; per-cell mixing makes the
+  // single-direction Q_t metric inapplicable.
+  EXPECT_EQ(adaptive.mode(), EngineMode::kAdaptive);
+  EXPECT_TRUE(adaptive.needs_adjacency());
+  EXPECT_TRUE(adaptive.needs_veblocks());
+  EXPECT_TRUE(adaptive.serves_pulls());
+  EXPECT_FALSE(adaptive.hybrid_metrics());
+
+  // Only pull-serving paths advertise ServePull.
+  EXPECT_FALSE(push.serves_pulls());
+  EXPECT_FALSE(pushm.serves_pulls());
+  EXPECT_TRUE(bpull.serves_pulls());
 
   // Block paths participate in aggregation and hybrid accounting.
   EXPECT_TRUE(push.supports_aggregator());

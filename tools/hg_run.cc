@@ -49,7 +49,7 @@ void Usage() {
       stderr,
       "usage: hg_run --graph <file|dataset:NAME> [options]\n"
       "  --algo pagerank|pagerank-delta|sssp|bfs|lpa|sa|wcc   (default pagerank)\n"
-      "  --mode push|pushm|pull|bpull|hybrid                  (default hybrid)\n"
+      "  --mode push|pushm|pull|bpull|hybrid|adaptive         (default hybrid)\n"
       "  --nodes N          simulated computational nodes      (default 5)\n"
       "  --threads N        worker threads, 0 = all cores      (default 1)\n"
       "  --buffer N         message buffer B_i per node        (default: unlimited)\n"
@@ -76,6 +76,7 @@ Result<EngineMode> ParseMode(const std::string& s) {
       {"push", EngineMode::kPush},   {"pushm", EngineMode::kPushM},
       {"pull", EngineMode::kVPull},  {"bpull", EngineMode::kBPull},
       {"b-pull", EngineMode::kBPull}, {"hybrid", EngineMode::kHybrid},
+      {"adaptive", EngineMode::kAdaptive},
   };
   auto it = kModes.find(s);
   if (it == kModes.end()) return Status::InvalidArgument("unknown mode: " + s);
